@@ -1,0 +1,148 @@
+// Command opera-experiments regenerates every table and figure of the
+// Opera paper's evaluation, writing CSVs under -out (default ./results).
+//
+// By default the packet-level experiments (Figures 7–10) run at a reduced
+// 64-host scale that completes in minutes; -full selects the paper's
+// 648-host scale (expect long runtimes). Analysis-only artifacts
+// (Figures 1, 4, 11–20, Tables 1–2) always run at paper scale unless
+// -small is given.
+//
+// Usage:
+//
+//	opera-experiments [-out dir] [-only fig07,fig08,...] [-full] [-small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/opera-net/opera/internal/experiments"
+	"github.com/opera-net/opera/internal/plot"
+	"github.com/opera-net/opera/internal/prototype"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory for CSVs")
+	only := flag.String("only", "", "comma-separated subset (fig01,fig04,fig07,fig08,fig09,fig10,fig11,fig12,fig13,fig14,fig15,fig16,fig17,fig19,fig20,table1,table2,ablation)")
+	full := flag.Bool("full", false, "run packet-level experiments at the paper's 648-host scale")
+	small := flag.Bool("small", false, "run analysis experiments at reduced scale too")
+	trials := flag.Int("trials", 3, "failure-analysis trials per point")
+	doPlot := flag.Bool("plot", false, "render ASCII charts of CDF-style figures to stdout")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	analysisScale := experiments.PaperScale()
+	if *small {
+		analysisScale = experiments.SmallScale()
+	}
+	simOpt := experiments.DefaultSimOptions()
+	shufOpt := experiments.DefaultShuffleOptions()
+	mixOpt := experiments.DefaultMixedOptions()
+	if *full {
+		simOpt = experiments.PaperSimOptions()
+		shufOpt.Scale = experiments.PaperScale()
+		shufOpt.Stagger = 10_000_000 // 10 ms, as §5.2
+		mixOpt.Scale = experiments.PaperScale()
+	}
+
+	type job struct {
+		name string
+		run  func() ([]experiments.Table, error)
+	}
+	jobs := []job{
+		{"fig01", func() ([]experiments.Table, error) { return experiments.Fig01FlowSizeCDFs(), nil }},
+		{"fig04", func() ([]experiments.Table, error) { return experiments.Fig04PathLengths(analysisScale) }},
+		{"fig07", func() ([]experiments.Table, error) { return experiments.Fig07Datamining(simOpt) }},
+		{"fig08", func() ([]experiments.Table, error) { return experiments.Fig08Shuffle(shufOpt) }},
+		{"fig09", func() ([]experiments.Table, error) { return experiments.Fig09Websearch(simOpt) }},
+		{"fig10", func() ([]experiments.Table, error) { return experiments.Fig10Mixed(mixOpt) }},
+		{"fig11", func() ([]experiments.Table, error) { return experiments.Fig11FaultTolerance(analysisScale, *trials) }},
+		{"fig12", experiments.Fig12CostSweepK24},
+		{"fig13", func() ([]experiments.Table, error) { return experiments.Fig13Prototype(prototype.DefaultParams()) }},
+		{"fig14", func() ([]experiments.Table, error) { return experiments.Fig14CycleTime(), nil }},
+		{"fig15", experiments.Fig15CostSweepK12},
+		{"fig16", func() ([]experiments.Table, error) { return experiments.Fig16PathVsScale(nil) }},
+		{"fig17", func() ([]experiments.Table, error) { return experiments.Fig17SpectralGap(analysisScale) }},
+		{"fig19", func() ([]experiments.Table, error) { return experiments.Fig19ClosFailures(analysisScale, *trials) }},
+		{"fig20", func() ([]experiments.Table, error) { return experiments.Fig20ExpanderFailures(analysisScale, *trials) }},
+		{"table1", func() ([]experiments.Table, error) { return experiments.Table1RuleCounts(), nil }},
+		{"table2", func() ([]experiments.Table, error) { return experiments.Table2Cost(), nil }},
+		{"ablation", experiments.AblationVLB},
+		{"guardband", func() ([]experiments.Table, error) { return experiments.GuardBandSweep(analysisScale) }},
+	}
+
+	failed := 0
+	for _, j := range jobs {
+		if !sel(j.name) {
+			continue
+		}
+		fmt.Printf("=== %s\n", j.name)
+		tables, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", j.name, err)
+			failed++
+			continue
+		}
+		if err := experiments.WriteAll(*out, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: write: %v\n", j.name, err)
+			failed++
+			continue
+		}
+		for _, t := range tables {
+			fmt.Printf("    wrote %s/%s.csv (%d rows)\n", *out, t.Name, len(t.Rows))
+			if *doPlot {
+				plotTable(t)
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// plotTable renders CDF-shaped tables (series name, x, y columns) as ASCII
+// charts. Other shapes are skipped.
+func plotTable(t experiments.Table) {
+	if len(t.Header) != 3 || len(t.Rows) == 0 {
+		return
+	}
+	bySeries := map[string]*plot.Series{}
+	var order []string
+	logX := false
+	for _, r := range t.Rows {
+		x, errX := strconv.ParseFloat(r[1], 64)
+		y, errY := strconv.ParseFloat(r[2], 64)
+		if errX != nil || errY != nil {
+			return // not numeric: nothing to draw
+		}
+		s := bySeries[r[0]]
+		if s == nil {
+			s = &plot.Series{Name: r[0]}
+			bySeries[r[0]] = s
+			order = append(order, r[0])
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+		if x > 100000 {
+			logX = true
+		}
+	}
+	series := make([]plot.Series, 0, len(order))
+	for _, name := range order {
+		series = append(series, *bySeries[name])
+	}
+	fmt.Println(plot.Render(plot.Options{
+		Title: t.Name, LogX: logX,
+		XLabel: t.Header[1], YLabel: t.Header[2],
+	}, series...))
+}

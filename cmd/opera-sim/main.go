@@ -1,0 +1,144 @@
+// Command opera-sim runs a single packet-level simulation scenario and
+// prints flow-completion statistics — a workbench for exploring the
+// architectures interactively.
+//
+// Examples:
+//
+//	opera-sim -network opera -workload datamining -load 0.25 -duration 20ms
+//	opera-sim -network foldedclos -workload shuffle -flowbytes 100000
+//	opera-sim -network rotornet -workload websearch -load 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	opera "github.com/opera-net/opera"
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/workload"
+)
+
+func main() {
+	network := flag.String("network", "opera", "opera | expander | foldedclos | rotornet | rotornet-hybrid")
+	wl := flag.String("workload", "datamining", "datamining | websearch | hadoop | shuffle | permutation | hotrack")
+	load := flag.Float64("load", 0.10, "offered load fraction (Poisson workloads)")
+	duration := flag.Duration("duration", 20*time.Millisecond, "arrival window (virtual time)")
+	racks := flag.Int("racks", 16, "racks (Opera/RotorNet/expander)")
+	hostsPerRack := flag.Int("hosts-per-rack", 4, "hosts per rack")
+	uplinks := flag.Int("uplinks", 4, "uplinks per ToR")
+	closK := flag.Int("clos-k", 8, "folded-Clos radix")
+	closF := flag.Int("clos-f", 3, "folded-Clos oversubscription")
+	flowBytes := flag.Int64("flowbytes", 100_000, "flow size for shuffle/permutation/hotrack")
+	maxFlow := flag.Int64("maxflow", 50_000_000, "cap on sampled flow sizes (0 = none)")
+	seed := flag.Int64("seed", 1, "random seed")
+	drain := flag.Int("drain", 50, "drain deadline as a multiple of -duration")
+	flag.Parse()
+
+	var kind opera.Kind
+	switch *network {
+	case "opera":
+		kind = opera.KindOpera
+	case "expander":
+		kind = opera.KindExpander
+	case "foldedclos":
+		kind = opera.KindFoldedClos
+	case "rotornet":
+		kind = opera.KindRotorNet
+	case "rotornet-hybrid":
+		kind = opera.KindRotorNetHybrid
+	default:
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *network)
+		os.Exit(2)
+	}
+
+	cl, err := opera.NewCluster(opera.ClusterConfig{
+		Kind:         kind,
+		Racks:        *racks,
+		HostsPerRack: *hostsPerRack,
+		Uplinks:      *uplinks,
+		ClosK:        *closK,
+		ClosF:        *closF,
+		// §5.6's throughput patterns are bulk workloads: application-tag
+		// them so Opera serves them on direct circuits regardless of size.
+		AppTaggedBulk: *wl == "shuffle" || *wl == "hotrack" || *wl == "permutation",
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	dur := eventsim.Time(duration.Nanoseconds())
+	var flows []workload.FlowSpec
+	switch *wl {
+	case "datamining", "websearch", "hadoop":
+		var dist *workload.FlowSizeDist
+		switch *wl {
+		case "datamining":
+			dist = workload.Datamining()
+		case "websearch":
+			dist = workload.Websearch()
+		default:
+			dist = workload.Hadoop()
+		}
+		flows = workload.Poisson(workload.PoissonConfig{
+			NumHosts:     cl.NumHosts(),
+			HostsPerRack: cl.HostsPerRack(),
+			Load:         *load,
+			LinkRateGbps: 10,
+			Duration:     dur,
+			Dist:         dist,
+			Seed:         *seed,
+		})
+		if *maxFlow > 0 {
+			for i := range flows {
+				if flows[i].Bytes > *maxFlow {
+					flows[i].Bytes = *maxFlow
+				}
+			}
+		}
+	case "shuffle":
+		flows = workload.Shuffle(cl.NumHosts(), *flowBytes, 0, *seed)
+	case "permutation":
+		flows = workload.Permutation(cl.NumHosts(), cl.HostsPerRack(), *flowBytes, *seed)
+	case "hotrack":
+		flows = workload.HotRack(cl.HostsPerRack(), *flowBytes)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	cl.AddFlows(flows)
+	start := time.Now()
+	completed := cl.RunUntilDone(dur * eventsim.Time(*drain))
+	wall := time.Since(start)
+
+	m := cl.Metrics()
+	done, total := m.DoneCount()
+	fmt.Printf("network=%s workload=%s flows=%d completed=%d (%.1f%%) wall=%v\n",
+		kind, *wl, total, done, 100*float64(done)/float64(max(total, 1)), wall.Round(time.Millisecond))
+	if !completed {
+		fmt.Printf("  (did not finish before drain deadline)\n")
+	}
+	for _, class := range []sim.Class{sim.ClassLowLatency, sim.ClassBulk} {
+		class := class
+		s := m.FCTSample(func(f *sim.Flow) bool { return f.Class == class && f.Done })
+		if s.N() == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s n=%-6d fct p50=%.1fµs p99=%.1fµs max=%.1fµs tax=%.1f%%\n",
+			class, s.N(), s.Median(), s.P99(), s.Max(), 100*m.BandwidthTax(class))
+	}
+	fmt.Printf("  delivered=%.1f MB aggregate-tax=%.1f%% bulk-NACKs=%d sim-events=%d\n",
+		m.DeliveredBytes.Total()/1e6, 100*m.AggregateTax(), cl.BulkNACKCount(), cl.Engine().Steps())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

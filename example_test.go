@@ -1,0 +1,50 @@
+package opera_test
+
+import (
+	"fmt"
+	"log"
+
+	opera "github.com/opera-net/opera"
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/workload"
+)
+
+// Building a cluster and inspecting its shape is fully deterministic.
+func ExampleNewCluster() {
+	cl, err := opera.NewCluster(opera.ClusterConfig{
+		Kind:         opera.KindOpera,
+		Racks:        16,
+		HostsPerRack: 4,
+		Uplinks:      4,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cl.Kind(), cl.NumHosts(), "hosts,", cl.HostsPerRack(), "per rack")
+	// Output: opera 64 hosts, 4 per rack
+}
+
+// Flows below the 15 MB threshold are latency-sensitive; larger ones are
+// bulk; application tagging overrides size.
+func ExampleCluster_AddFlow() {
+	cl, err := opera.NewCluster(opera.ClusterConfig{
+		Kind: opera.KindOpera, Racks: 16, HostsPerRack: 4, Uplinks: 4, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rpc := cl.AddFlow(workload.FlowSpec{Src: 0, Dst: 42, Bytes: 6_000})
+	big := cl.AddFlow(workload.FlowSpec{Src: 1, Dst: 43, Bytes: 30_000_000})
+	tagged := cl.AddBulkFlow(workload.FlowSpec{Src: 2, Dst: 44, Bytes: 6_000})
+	fmt.Println(rpc.Class, big.Class, tagged.Class)
+
+	if !cl.RunUntilDone(2000 * eventsim.Millisecond) {
+		log.Fatal("incomplete")
+	}
+	done, total := cl.Metrics().DoneCount()
+	fmt.Println(done, "of", total, "flows complete")
+	// Output:
+	// lowlat bulk bulk
+	// 3 of 3 flows complete
+}

@@ -1,0 +1,41 @@
+// Costsweep reproduces the cost-normalized comparison of §5.6 (Figure 15,
+// k = 12): for each port-cost premium α, cost-equivalent Opera, expander
+// and folded-Clos networks are derived (Appendix A) and their steady-state
+// throughput computed for the hot-rack, skew[0.2,1] and permutation
+// workloads via the fluid models.
+//
+//	go run ./examples/costsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/opera-net/opera/internal/cost"
+	"github.com/opera-net/opera/internal/experiments"
+)
+
+func main() {
+	fmt.Printf("Cost-equivalent families at k=12 (Appendix A):\n")
+	for _, alpha := range []float64{1.0, 4.0 / 3.0, 2.0} {
+		eq := cost.Equivalents(12, alpha)
+		fmt.Printf("  α=%.2f: %4d hosts | Clos F=%.1f:1 | expander u=%d,d=%d (%d racks) | Opera d=u=%d (%d racks)\n",
+			alpha, eq.Hosts, eq.ClosF, eq.ExpanderU, eq.ExpanderD, eq.ExpanderRacks,
+			eq.OperaHostsPerRack, eq.OperaRacks)
+	}
+	fmt.Printf("\nOpera's port premium from Table 2: α ≈ %.2f ($%v vs $%v)\n\n",
+		cost.EstimatedAlpha(), cost.OperaPortCost(), cost.StaticPortCost())
+
+	tables, err := experiments.Fig15CostSweepK12()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %-6s %8s %10s %12s %10s\n",
+		"workload", "alpha", "opera", "expander", "foldedclos", "opera-a2a")
+	for _, r := range tables[0].Rows {
+		fmt.Printf("%-12s %-6s %8s %10s %12s %10s\n", r[0], r[1], r[2], r[3], r[4], r[5])
+	}
+	fmt.Println("\nOpera wins for skewed and permutation traffic while circuit ports")
+	fmt.Println("stay cheaper than ≈1.8× a packet port; its all-to-all line shows")
+	fmt.Println("the ≈4× advantage over the 3:1 Clos at the estimated α (§5.6).")
+}

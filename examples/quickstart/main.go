@@ -1,0 +1,57 @@
+// Quickstart: build a small Opera network, send a mix of latency-sensitive
+// and bulk flows, and print what the fabric did with them.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	opera "github.com/opera-net/opera"
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/workload"
+)
+
+func main() {
+	// A 16-rack Opera network: 4 hosts per rack, 4 rotor circuit switches.
+	// Every rack pair gets a direct circuit once per cycle; at any instant
+	// the active matchings form an expander for low-latency traffic.
+	cl, err := opera.NewCluster(opera.ClusterConfig{
+		Kind:         opera.KindOpera,
+		Racks:        16,
+		HostsPerRack: 4,
+		Uplinks:      4,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cluster: %d hosts on %s\n", cl.NumHosts(), cl.Kind())
+
+	// A latency-sensitive RPC: 6 KB from host 0 to a host ten racks away.
+	// It is classified below the 15 MB threshold, so it rides NDP over the
+	// current topology slice's expander immediately.
+	rpc := cl.AddFlow(workload.FlowSpec{Src: 0, Dst: 42, Bytes: 6_000})
+
+	// A bulk transfer: 30 MB between the same racks. It waits at the host
+	// and rides bandwidth-tax-free direct circuits as the rotor switches
+	// bring them around.
+	bulk := cl.AddFlow(workload.FlowSpec{Src: 1, Dst: 43, Bytes: 30_000_000})
+
+	if !cl.RunUntilDone(2000 * eventsim.Millisecond) {
+		log.Fatal("flows did not complete")
+	}
+
+	fmt.Printf("RPC   (%5d B, %s): FCT = %v\n", rpc.Size, rpc.Class, rpc.FCT())
+	fmt.Printf("bulk  (%d B, %s): FCT = %v, retransmits = %d\n",
+		bulk.Size, bulk.Class, bulk.FCT(), bulk.Retransmits)
+
+	m := cl.Metrics()
+	fmt.Printf("low-latency bandwidth tax: %.0f%% (multi-hop expander paths)\n",
+		100*m.BandwidthTax(sim.ClassLowLatency))
+	fmt.Printf("bulk bandwidth tax:        %.0f%% (direct circuits)\n",
+		100*m.BandwidthTax(sim.ClassBulk))
+}

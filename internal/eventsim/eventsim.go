@@ -1,0 +1,217 @@
+// Package eventsim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock with nanosecond resolution and a
+// priority queue of pending events. Events scheduled for the same instant
+// fire in FIFO order of scheduling, which—together with explicit seeding of
+// all random number generators—makes every simulation in this repository
+// fully deterministic and reproducible.
+//
+// The engine is intentionally single-threaded: datacenter packet simulation
+// is dominated by fine-grained causally-ordered events, and a lock-free
+// single-goroutine loop is both faster and easier to reason about than a
+// parallel scheduler. Callers that want parallelism run independent engines
+// (e.g. one per benchmark scenario) in separate goroutines.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, measured in integer nanoseconds from the
+// start of the simulation. Durations are also expressed as Time; the zero
+// value is the simulation epoch.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. It is used as an
+// "infinitely far in the future" sentinel (e.g. for disabled timers).
+const MaxTime Time = math.MaxInt64
+
+// String formats the time with an adaptive unit, e.g. "13.200µs" or "1.5ms".
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Event is a scheduled callback. Events are returned by the scheduling
+// methods of Engine and may be cancelled until they fire.
+type Event struct {
+	at        Time
+	seq       uint64 // scheduling order; breaks ties at equal time
+	fn        func()
+	index     int // heap index; -1 once fired or cancelled
+	cancelled bool
+}
+
+// At reports the virtual time at which the event is (or was) scheduled.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (e *Event) Cancel() bool {
+	if e.cancelled || e.index == -1 {
+		return false
+	}
+	e.cancelled = true
+	return true
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; call
+// New.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nSteps uint64 // total events executed
+}
+
+// New returns an empty engine with the clock at the epoch.
+func New() *Engine {
+	e := &Engine{}
+	e.queue = make(eventHeap, 0, 1024)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending (non-cancelled) events. Cancelled events
+// still occupy queue slots until their scheduled time, so Len is an upper
+// bound on the number of callbacks that will actually run.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Steps returns the total number of events executed so far. It is useful for
+// reporting simulation effort in benchmarks.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: such bugs silently corrupt causality and must not be masked.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the single next pending event, advancing the clock to its
+// timestamp. It reports false if the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		ev.index = -1
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.nSteps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to exactly deadline. Events scheduled after deadline remain pending.
+func (e *Engine) RunUntil(deadline Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d nanoseconds of virtual time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// peek returns the next non-cancelled event without executing it, discarding
+// any cancelled events encountered on the way.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+		ev.index = -1
+	}
+	return nil
+}
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

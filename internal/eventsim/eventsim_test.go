@@ -1,0 +1,276 @@
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(42, func() { got = append(got, i) })
+	}
+	e.Run()
+	if len(got) != 100 {
+		t.Fatalf("executed %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.At(5, func() { ran = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := New()
+	e.RunFor(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+	n := 0
+	e.After(50, func() { n++ })
+	e.RunFor(49)
+	if n != 0 || e.Now() != 149 {
+		t.Fatalf("n=%d now=%v, want 0/149", n, e.Now())
+	}
+	e.RunFor(1)
+	if n != 1 {
+		t.Fatalf("event at exact deadline did not fire")
+	}
+}
+
+func TestSchedulingInsideEvents(t *testing.T) {
+	e := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 10 {
+			e.After(1, recurse)
+		}
+	}
+	e.At(0, recurse)
+	e.Run()
+	if depth != 10 {
+		t.Fatalf("depth = %d, want 10", depth)
+	}
+	if e.Now() != 9 {
+		t.Fatalf("Now = %v, want 9", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+// Property: for any batch of events with random times, execution order is a
+// stable sort by time (FIFO among equal times).
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		e := New()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, ti := range times {
+			at := Time(ti)
+			i := i
+			e.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		e.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(a, b int) bool {
+			if got[a].at != got[b].at {
+				return got[a].at < got[b].at
+			}
+			return got[a].seq < got[b].seq
+		}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerRearm(t *testing.T) {
+	e := New()
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	tm.Arm(10)
+	tm.Arm(20) // replaces the first schedule
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if tm.Deadline() != 20 {
+		t.Fatalf("Deadline = %v, want 20", tm.Deadline())
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if tm.Pending() {
+		t.Fatal("timer still pending after firing")
+	}
+	if tm.Deadline() != MaxTime {
+		t.Fatalf("idle Deadline = %v, want MaxTime", tm.Deadline())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New()
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	tm.Arm(10)
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for armed timer")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop returned true for stopped timer")
+	}
+	e.Run()
+	if fired != 0 {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{90 * Microsecond, "90.000µs"},
+		{Time(10.7 * float64(Millisecond)), "10.700ms"},
+		{2 * Second, "2.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := New()
+		rng := rand.New(rand.NewSource(seed))
+		var trace []Time
+		var step func()
+		step = func() {
+			trace = append(trace, e.Now())
+			if len(trace) < 1000 {
+				e.After(Time(rng.Intn(100)), step)
+			}
+		}
+		e.At(0, step)
+		e.Run()
+		return trace
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatal("traces differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%64), func() {})
+		if e.Len() > 4096 {
+			e.RunFor(64)
+		}
+	}
+	e.Run()
+}

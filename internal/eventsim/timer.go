@@ -1,0 +1,56 @@
+package eventsim
+
+// Timer is a restartable one-shot timer bound to an engine. Unlike raw
+// events, a Timer can be re-armed repeatedly without allocating, which suits
+// per-flow retransmission timeouts that are usually cancelled before firing.
+type Timer struct {
+	eng     *Engine
+	fn      func()
+	pending *Event
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it fires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Arm (re)schedules the timer to fire d after now, replacing any pending
+// schedule.
+func (t *Timer) Arm(d Time) {
+	t.Stop()
+	t.pending = t.eng.After(d, t.fire)
+}
+
+// ArmAt (re)schedules the timer to fire at absolute time at.
+func (t *Timer) ArmAt(at Time) {
+	t.Stop()
+	t.pending = t.eng.At(at, t.fire)
+}
+
+// Stop cancels any pending schedule. It reports whether a pending schedule
+// was cancelled.
+func (t *Timer) Stop() bool {
+	if t.pending != nil {
+		ok := t.pending.Cancel()
+		t.pending = nil
+		return ok
+	}
+	return false
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.pending != nil }
+
+// Deadline returns the time at which the timer will fire, or MaxTime if it
+// is not armed.
+func (t *Timer) Deadline() Time {
+	if t.pending == nil {
+		return MaxTime
+	}
+	return t.pending.At()
+}
+
+func (t *Timer) fire() {
+	t.pending = nil
+	t.fn()
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/opera-net/opera/internal/faults"
+	"github.com/opera-net/opera/internal/topology"
+)
+
+// FailureFractions are the x-axis points of Figures 11 and 18–20.
+var FailureFractions = []float64{0.01, 0.025, 0.05, 0.10, 0.20, 0.40}
+
+// SwitchFailureFractions are the circuit-switch points (the paper sweeps
+// to 50%).
+var SwitchFailureFractions = []float64{0.01, 0.025, 0.05, 0.10, 0.20, 0.50}
+
+// Fig11FaultTolerance regenerates Figure 11 (connectivity loss) and
+// Figure 18 (path stretch) for Opera under link, ToR and circuit-switch
+// failures. Trials averages over seeds.
+func Fig11FaultTolerance(s Scale, trials int) ([]Table, error) {
+	if trials <= 0 {
+		trials = 3
+	}
+	conn := Table{Name: fmt.Sprintf("fig11_connectivity_%s", s.Name),
+		Header: []string{"failure_type", "fraction", "worst_slice_loss", "across_all_slices_loss"}}
+	paths := Table{Name: fmt.Sprintf("fig18_path_stretch_%s", s.Name),
+		Header: []string{"failure_type", "fraction", "avg_path", "worst_path"}}
+
+	o, err := topology.NewOpera(topology.Config{
+		NumRacks: s.Racks, HostsPerRack: s.HostsPerRack, NumSwitches: s.Uplinks, Seed: s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := func(kind string, fLinks, fToRs, fSwitches func(frac float64) float64, fracs []float64) {
+		for _, frac := range fracs {
+			var worst, union, avg float64
+			maxPath := 0
+			for tr := 0; tr < trials; tr++ {
+				r := faults.OperaFailures(o, fLinks(frac), fToRs(frac), fSwitches(frac), int64(tr)*31+7)
+				worst += r.WorstSliceLoss
+				union += r.UnionLoss
+				avg += r.AvgPath
+				if r.MaxPath > maxPath {
+					maxPath = r.MaxPath
+				}
+			}
+			n := float64(trials)
+			conn.Add(kind, frac, worst/n, union/n)
+			paths.Add(kind, frac, avg/n, maxPath)
+		}
+	}
+	zero := func(float64) float64 { return 0 }
+	id := func(f float64) float64 { return f }
+	run("links", id, zero, zero, FailureFractions)
+	run("tors", zero, id, zero, FailureFractions)
+	run("switches", zero, zero, id, SwitchFailureFractions)
+	return []Table{conn, paths}, nil
+}
+
+// Fig19ClosFailures regenerates Figure 19: the 3:1 folded Clos under link
+// and switch failures.
+func Fig19ClosFailures(s Scale, trials int) ([]Table, error) {
+	if trials <= 0 {
+		trials = 3
+	}
+	t := Table{Name: fmt.Sprintf("fig19_clos_failures_%s", s.Name),
+		Header: []string{"failure_type", "fraction", "loss", "avg_path", "worst_path"}}
+	c, err := topology.NewFoldedClos(s.ClosK, s.ClosF)
+	if err != nil {
+		return nil, err
+	}
+	for _, frac := range FailureFractions {
+		var lossL, avgL, lossS, avgS float64
+		maxL, maxS := 0, 0
+		for tr := 0; tr < trials; tr++ {
+			r := faults.ClosFailures(c, frac, 0, int64(tr)*17+3)
+			lossL += r.Loss
+			avgL += r.AvgPath
+			if r.MaxPath > maxL {
+				maxL = r.MaxPath
+			}
+			r = faults.ClosFailures(c, 0, frac, int64(tr)*17+3)
+			lossS += r.Loss
+			avgS += r.AvgPath
+			if r.MaxPath > maxS {
+				maxS = r.MaxPath
+			}
+		}
+		n := float64(trials)
+		t.Add("links", frac, lossL/n, avgL/n, maxL)
+		t.Add("switches", frac, lossS/n, avgS/n, maxS)
+	}
+	return []Table{t}, nil
+}
+
+// Fig20ExpanderFailures regenerates Figure 20: the u=7 expander under
+// link and ToR failures.
+func Fig20ExpanderFailures(s Scale, trials int) ([]Table, error) {
+	if trials <= 0 {
+		trials = 3
+	}
+	t := Table{Name: fmt.Sprintf("fig20_expander_failures_%s", s.Name),
+		Header: []string{"failure_type", "fraction", "loss", "avg_path", "worst_path"}}
+	e, err := topology.NewExpander(s.ExpRacks, s.ExpHosts, s.ExpDegree, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, frac := range FailureFractions {
+		var lossL, avgL, lossT, avgT float64
+		maxL, maxT := 0, 0
+		for tr := 0; tr < trials; tr++ {
+			r := faults.ExpanderFailures(e, frac, 0, int64(tr)*13+5)
+			lossL += r.Loss
+			avgL += r.AvgPath
+			if r.MaxPath > maxL {
+				maxL = r.MaxPath
+			}
+			r = faults.ExpanderFailures(e, 0, frac, int64(tr)*13+5)
+			lossT += r.Loss
+			avgT += r.AvgPath
+			if r.MaxPath > maxT {
+				maxT = r.MaxPath
+			}
+		}
+		n := float64(trials)
+		t.Add("links", frac, lossL/n, avgL/n, maxL)
+		t.Add("tors", frac, lossT/n, avgT/n, maxT)
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"fmt"
+
+	operapkg "github.com/opera-net/opera"
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/prototype"
+	"github.com/opera-net/opera/internal/stats"
+	"github.com/opera-net/opera/internal/workload"
+)
+
+// SimOptions controls the packet-level experiment family.
+type SimOptions struct {
+	Scale Scale
+	// Loads are offered-load fractions for the Poisson experiments.
+	Loads []float64
+	// Duration is the flow-arrival window; the simulation drains for up to
+	// DrainFactor× longer.
+	Duration    eventsim.Time
+	DrainFactor int
+	// MaxFlowBytes caps sampled flow sizes (0 = unlimited); small-scale
+	// runs cap the heavy tail so runtimes stay test-friendly.
+	MaxFlowBytes int64
+	Seed         int64
+}
+
+// DefaultSimOptions returns small-scale settings (seconds per run).
+func DefaultSimOptions() SimOptions {
+	return SimOptions{
+		Scale:        SmallScale(),
+		Loads:        []float64{0.01, 0.10, 0.25},
+		Duration:     20 * eventsim.Millisecond,
+		DrainFactor:  15,
+		MaxFlowBytes: 20_000_000,
+		Seed:         1,
+	}
+}
+
+// PaperSimOptions returns §5.1-scale settings (minutes per network).
+func PaperSimOptions() SimOptions {
+	return SimOptions{
+		Scale:       PaperScale(),
+		Loads:       []float64{0.01, 0.10, 0.25, 0.30, 0.40},
+		Duration:    100 * eventsim.Millisecond,
+		DrainFactor: 20,
+		Seed:        1,
+	}
+}
+
+// newCluster builds the cluster for a network name at the given scale.
+func newCluster(kind operapkg.Kind, s Scale, appTagged bool, seed int64) (*operapkg.Cluster, error) {
+	cfg := operapkg.ClusterConfig{
+		Kind:          kind,
+		Racks:         s.Racks,
+		HostsPerRack:  s.HostsPerRack,
+		Uplinks:       s.Uplinks,
+		ClosK:         s.ClosK,
+		ClosF:         s.ClosF,
+		AppTaggedBulk: appTagged,
+		Seed:          seed,
+	}
+	if kind == operapkg.KindExpander {
+		cfg.Racks = s.ExpRacks
+		cfg.HostsPerRack = s.ExpHosts
+		cfg.Uplinks = s.ExpDegree
+	}
+	return operapkg.NewCluster(cfg)
+}
+
+// fctBuckets are the flow-size decade boundaries used to report FCT vs
+// flow size (Figures 7 and 9).
+var fctBuckets = []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1 << 62}
+
+func bucketOf(size int64) int {
+	for i, b := range fctBuckets {
+		if size < b {
+			return i
+		}
+	}
+	return len(fctBuckets) - 1
+}
+
+func bucketLabel(i int) string {
+	names := []string{"<1KB", "1-10KB", "10-100KB", "100KB-1MB", "1-10MB", "10-100MB", ">=100MB"}
+	return names[i]
+}
+
+// runPoissonFCT drives one (network, load) cell and appends per-bucket FCT
+// rows: 99th percentile (and mean at 1% load, following the paper's
+// reporting) plus the completed fraction, which exposes saturation.
+func runPoissonFCT(t *Table, network string, kind operapkg.Kind, opt SimOptions,
+	dist *workload.FlowSizeDist, load float64) error {
+
+	cl, err := newCluster(kind, opt.Scale, false, opt.Scale.Seed)
+	if err != nil {
+		return err
+	}
+	flows := workload.Poisson(workload.PoissonConfig{
+		NumHosts:     cl.NumHosts(),
+		HostsPerRack: cl.HostsPerRack(),
+		Load:         load,
+		LinkRateGbps: 10,
+		Duration:     opt.Duration,
+		Dist:         dist,
+		Seed:         opt.Seed,
+	})
+	if opt.MaxFlowBytes > 0 {
+		for i := range flows {
+			if flows[i].Bytes > opt.MaxFlowBytes {
+				flows[i].Bytes = opt.MaxFlowBytes
+			}
+		}
+	}
+	cl.AddFlows(flows)
+	deadline := opt.Duration * eventsim.Time(opt.DrainFactor)
+	cl.RunUntilDone(deadline)
+
+	buckets := make([]stats.Sample, len(fctBuckets))
+	var done, total int
+	for _, f := range cl.Metrics().Flows() {
+		total++
+		if !f.Done {
+			continue
+		}
+		done++
+		buckets[bucketOf(f.Size)].Add(f.FCT().Micros())
+	}
+	for i := range buckets {
+		if buckets[i].N() == 0 {
+			continue
+		}
+		t.Add(network, load, bucketLabel(i), buckets[i].Mean(), buckets[i].P99(),
+			buckets[i].N(), float64(done)/float64(total))
+	}
+	return nil
+}
+
+var fctHeader = []string{"network", "load", "flow_size", "mean_fct_us", "p99_fct_us", "flows", "completed_frac"}
+
+// Fig07Datamining regenerates Figure 7: Datamining FCTs vs offered load on
+// the four architectures (plus hybrid RotorNet at +33% cost).
+func Fig07Datamining(opt SimOptions) ([]Table, error) {
+	t := Table{Name: fmt.Sprintf("fig07_datamining_fct_%s", opt.Scale.Name), Header: fctHeader}
+	dist := workload.Datamining()
+	nets := []struct {
+		name string
+		kind operapkg.Kind
+	}{
+		{"opera", operapkg.KindOpera},
+		{"expander", operapkg.KindExpander},
+		{"foldedclos", operapkg.KindFoldedClos},
+		{"rotornet-hybrid", operapkg.KindRotorNetHybrid},
+		{"rotornet", operapkg.KindRotorNet},
+	}
+	for _, n := range nets {
+		for _, load := range opt.Loads {
+			if err := runPoissonFCT(&t, n.name, n.kind, opt, dist, load); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return []Table{t}, nil
+}
+
+// Fig09Websearch regenerates Figure 9: the all-indirect worst case.
+func Fig09Websearch(opt SimOptions) ([]Table, error) {
+	t := Table{Name: fmt.Sprintf("fig09_websearch_fct_%s", opt.Scale.Name), Header: fctHeader}
+	dist := workload.Websearch()
+	nets := []struct {
+		name string
+		kind operapkg.Kind
+	}{
+		{"opera", operapkg.KindOpera},
+		{"expander", operapkg.KindExpander},
+		{"foldedclos", operapkg.KindFoldedClos},
+	}
+	for _, n := range nets {
+		for _, load := range opt.Loads {
+			if err := runPoissonFCT(&t, n.name, n.kind, opt, dist, load); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return []Table{t}, nil
+}
+
+// ShuffleOptions controls the Figure 8 experiment.
+type ShuffleOptions struct {
+	Scale     Scale
+	FlowBytes int64
+	// Stagger spreads static-network arrivals (the paper uses 10 ms).
+	Stagger  eventsim.Time
+	Deadline eventsim.Time
+	// Participants caps how many hosts join the shuffle (0 = all). The
+	// folded Clos's host count is quantized by its radix (192 at small
+	// scale vs 64 for the others); capping keeps the workload identical
+	// across networks.
+	Participants int
+	Seed         int64
+}
+
+// DefaultShuffleOptions returns small-scale settings.
+func DefaultShuffleOptions() ShuffleOptions {
+	return ShuffleOptions{
+		Scale:        SmallScale(),
+		FlowBytes:    100_000,
+		Stagger:      1 * eventsim.Millisecond,
+		Deadline:     2000 * eventsim.Millisecond,
+		Participants: 64,
+		Seed:         1,
+	}
+}
+
+// Fig08Shuffle regenerates Figure 8: delivered throughput over time and
+// the 99th-percentile FCT for a 100 KB all-to-all shuffle, application-
+// tagged as bulk on Opera (all-direct paths).
+func Fig08Shuffle(opt ShuffleOptions) ([]Table, error) {
+	series := Table{Name: fmt.Sprintf("fig08_shuffle_throughput_%s", opt.Scale.Name),
+		Header: []string{"network", "time_ms", "normalized_throughput"}}
+	summary := Table{Name: fmt.Sprintf("fig08_shuffle_fct_%s", opt.Scale.Name),
+		Header: []string{"network", "p99_fct_ms", "completed_frac", "bandwidth_tax"}}
+
+	nets := []struct {
+		name      string
+		kind      operapkg.Kind
+		appTagged bool
+		stagger   eventsim.Time
+	}{
+		{"opera", operapkg.KindOpera, true, 0},
+		{"expander", operapkg.KindExpander, false, opt.Stagger},
+		{"foldedclos", operapkg.KindFoldedClos, false, opt.Stagger},
+	}
+	for _, n := range nets {
+		cl, err := newCluster(n.kind, opt.Scale, n.appTagged, opt.Scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		participants := cl.NumHosts()
+		if opt.Participants > 0 && opt.Participants < participants {
+			participants = opt.Participants
+		}
+		cl.AddFlows(workload.Shuffle(participants, opt.FlowBytes, n.stagger, opt.Seed))
+		cl.RunUntilDone(opt.Deadline)
+
+		capacity := float64(participants) * 10e9 / 8 // bytes/s aggregate
+		rates := cl.Metrics().DeliveredBytes.Rates()
+		for i, r := range rates {
+			series.Add(n.name, float64(i)*1000*cl.Metrics().DeliveredBytes.BinWidth(), r/capacity)
+		}
+		var fct stats.Sample
+		var done, total int
+		for _, f := range cl.Metrics().Flows() {
+			total++
+			if f.Done {
+				done++
+				fct.Add(f.FCT().Seconds() * 1000)
+			}
+		}
+		summary.Add(n.name, fct.P99(), float64(done)/float64(total), cl.Metrics().AggregateTax())
+	}
+	return []Table{series, summary}, nil
+}
+
+// MixedOptions controls the Figure 10 experiment.
+type MixedOptions struct {
+	Scale Scale
+	// WebsearchLoads are the low-latency load points.
+	WebsearchLoads []float64
+	Duration       eventsim.Time
+	Seed           int64
+}
+
+// DefaultMixedOptions returns small-scale settings.
+func DefaultMixedOptions() MixedOptions {
+	return MixedOptions{
+		Scale:          SmallScale(),
+		WebsearchLoads: []float64{0.01, 0.05, 0.10},
+		Duration:       30 * eventsim.Millisecond,
+		Seed:           1,
+	}
+}
+
+// Fig10Mixed regenerates Figure 10: aggregate delivered throughput vs
+// Websearch (low-latency) load with a saturating bulk shuffle underneath.
+func Fig10Mixed(opt MixedOptions) ([]Table, error) {
+	t := Table{Name: fmt.Sprintf("fig10_mixed_throughput_%s", opt.Scale.Name),
+		Header: []string{"network", "websearch_load", "normalized_throughput"}}
+	nets := []struct {
+		name string
+		kind operapkg.Kind
+	}{
+		{"opera", operapkg.KindOpera},
+		{"expander", operapkg.KindExpander},
+		{"foldedclos", operapkg.KindFoldedClos},
+	}
+	for _, n := range nets {
+		for _, wsLoad := range opt.WebsearchLoads {
+			cl, err := newCluster(n.kind, opt.Scale, false, opt.Scale.Seed)
+			if err != nil {
+				return nil, err
+			}
+			// Saturating bulk: every host keeps a large tagged-bulk flow
+			// to every other rack for the whole run.
+			perRack := cl.NumHosts() / cl.HostsPerRack()
+			bulkBytes := int64(float64(opt.Duration.Seconds()) * 10e9 / 8 / float64(perRack-1))
+			var bulk []workload.FlowSpec
+			for h := 0; h < cl.NumHosts(); h++ {
+				for r := 0; r < perRack; r++ {
+					if r == cl.HostRack(h) {
+						continue
+					}
+					bulk = append(bulk, workload.FlowSpec{
+						Src: h, Dst: r*cl.HostsPerRack() + h%cl.HostsPerRack(), Bytes: bulkBytes,
+					})
+				}
+			}
+			ws := workload.Poisson(workload.PoissonConfig{
+				NumHosts:     cl.NumHosts(),
+				HostsPerRack: cl.HostsPerRack(),
+				Load:         wsLoad,
+				LinkRateGbps: 10,
+				Duration:     opt.Duration,
+				Dist:         workload.Websearch(),
+				Seed:         opt.Seed,
+			})
+			for _, spec := range bulk {
+				cl.AddBulkFlow(spec) // application-tagged shuffle (§3.4)
+			}
+			cl.AddFlows(ws)
+			cl.Run(opt.Duration)
+			// Normalized throughput: bytes delivered within the run window
+			// over the aggregate host-link capacity of the same window.
+			ts := cl.Metrics().DeliveredBytes
+			var delivered float64
+			bins := int(opt.Duration.Seconds()/ts.BinWidth() + 0.5)
+			for i := 0; i < bins; i++ {
+				delivered += ts.Rate(i) * ts.BinWidth()
+			}
+			capacity := float64(cl.NumHosts()) * 10e9 / 8 * opt.Duration.Seconds()
+			t.Add(n.name, wsLoad, delivered/capacity)
+		}
+	}
+	return []Table{t}, nil
+}
+
+// Fig13Prototype regenerates Figure 13's RTT distributions.
+func Fig13Prototype(params prototype.Params) ([]Table, error) {
+	without, with, err := prototype.Figure13(params)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{Name: "fig13_prototype_rtt", Header: []string{"scenario", "rtt_us", "cdf"}}
+	for _, p := range without.CDF() {
+		t.Add("without_bulk", p.X, p.F)
+	}
+	for _, p := range with.CDF() {
+		t.Add("with_bulk", p.X, p.F)
+	}
+	return []Table{t}, nil
+}

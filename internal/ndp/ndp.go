@@ -1,0 +1,340 @@
+// Package ndp implements the NDP transport protocol [24] at the level of
+// detail the Opera evaluation depends on (§4.2.1): senders blast an initial
+// window with zero-RTT start, switches trim overflowing data packets to
+// headers that travel at control priority, receivers NACK trimmed packets
+// (triggering retransmission) and clock the sender with paced PULLs so that
+// aggregate arrival rate converges to the receiver's line rate, and a
+// safety retransmission timer recovers from the rare loss of control
+// packets. Opera uses NDP for all low-latency traffic; the static baselines
+// (folded Clos, expander) use it for all traffic.
+package ndp
+
+import (
+	"fmt"
+
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
+)
+
+// Params tunes the protocol.
+type Params struct {
+	// InitialWindow is the number of packets sent unsolicited at flow
+	// start (≈ one bandwidth-delay product; 8 × 1500 B at 10 Gb/s covers
+	// ~9.6 µs of RTT).
+	InitialWindow int
+	// RTO is the safety retransmission timeout.
+	RTO eventsim.Time
+}
+
+// DefaultParams returns the evaluation defaults.
+func DefaultParams() Params {
+	return Params{InitialWindow: 8, RTO: 1 * eventsim.Millisecond}
+}
+
+// Endpoint is the per-host NDP engine: sender state for outgoing flows,
+// receiver state and the PULL pacer for incoming flows.
+type Endpoint struct {
+	host    *sim.Host
+	params  Params
+	metrics *sim.Metrics
+
+	sendFlows map[int64]*sendFlow
+	recvFlows map[int64]*recvFlow
+
+	// PULL pacing: one pull per MTU serialization time, round-robin across
+	// flows with credits.
+	pullCredits []int64 // flow IDs, one entry per credit
+	pacing      bool
+
+	// registry maps flow IDs to flows so receivers can size their state on
+	// first contact (shared across the cluster's endpoints).
+	registry map[int64]*sim.Flow
+
+	// Fallback handler for packets that are not NDP's (e.g. RotorLB bulk
+	// sharing the host).
+	next func(*sim.Packet)
+}
+
+// Attach installs NDP endpoints on every host, chaining to any existing
+// handler for non-NDP packets. registry is the cluster's flow table, which
+// receivers consult to size their state on first contact. It returns one
+// endpoint per host, indexed by host ID.
+func Attach(hosts []*sim.Host, metrics *sim.Metrics, params Params, registry map[int64]*sim.Flow) []*Endpoint {
+	eps := make([]*Endpoint, len(hosts))
+	for i, h := range hosts {
+		ep := &Endpoint{
+			host:      h,
+			params:    params,
+			metrics:   metrics,
+			sendFlows: make(map[int64]*sendFlow),
+			recvFlows: make(map[int64]*recvFlow),
+			registry:  registry,
+			next:      h.Handler,
+		}
+		h.Handler = ep.handle
+		eps[i] = ep
+	}
+	return eps
+}
+
+// Host returns the endpoint's host.
+func (ep *Endpoint) Host() *sim.Host { return ep.host }
+
+type sendFlow struct {
+	f       *sim.Flow
+	total   int32 // packets
+	nextNew int32
+	rtx     []int32 // NACKed sequence numbers awaiting retransmission
+	acked   []uint64
+	nAcked  int32
+	rto     *eventsim.Timer
+	done    bool
+}
+
+type recvFlow struct {
+	f     *sim.Flow
+	total int32
+	got   []uint64
+	nGot  int32
+}
+
+// StartFlow begins sending flow f from this endpoint's host. The flow must
+// originate here.
+func (ep *Endpoint) StartFlow(f *sim.Flow) {
+	if f.SrcHost != ep.host.ID {
+		panic(fmt.Sprintf("ndp: flow %d starts at host %d, not %d", f.ID, f.SrcHost, ep.host.ID))
+	}
+	mtu := int64(ep.host.Config().MTU)
+	total := int32((f.Size + mtu - 1) / mtu)
+	if total == 0 {
+		total = 1
+	}
+	sf := &sendFlow{
+		f:     f,
+		total: total,
+		acked: make([]uint64, (total+63)/64),
+	}
+	sf.rto = eventsim.NewTimer(ep.host.Engine(), func() { ep.onRTO(sf) })
+	ep.sendFlows[f.ID] = sf
+	f.Start = ep.host.Engine().Now()
+
+	iw := int32(ep.params.InitialWindow)
+	if iw > total {
+		iw = total
+	}
+	for i := int32(0); i < iw; i++ {
+		ep.sendData(sf, sf.nextNew)
+		sf.nextNew++
+	}
+	sf.rto.Arm(ep.params.RTO)
+}
+
+// sendData emits one data packet of the flow.
+func (ep *Endpoint) sendData(sf *sendFlow, seq int32) {
+	cfg := ep.host.Config()
+	f := sf.f
+	mtu := int64(cfg.MTU)
+	size := mtu
+	if rem := f.Size - int64(seq)*mtu; rem < size {
+		size = rem
+	}
+	if size <= 0 {
+		size = 1
+	}
+	p := sim.NewPacket()
+	p.Kind = sim.KindData
+	p.Class = f.Class
+	p.SrcHost, p.DstHost = f.SrcHost, f.DstHost
+	p.SrcRack, p.DstRack = f.SrcRack, f.DstRack
+	p.Size = int32(size)
+	p.PayloadSize = int32(size)
+	p.FlowID = f.ID
+	p.Seq = seq
+	ep.host.Send(p)
+}
+
+// handle demultiplexes a delivered packet.
+func (ep *Endpoint) handle(p *sim.Packet) {
+	switch p.Kind {
+	case sim.KindData:
+		ep.onData(p)
+	case sim.KindAck:
+		ep.onAck(p)
+	case sim.KindNack:
+		ep.onNack(p)
+	case sim.KindPull:
+		ep.onPull(p)
+	default:
+		if ep.next != nil {
+			ep.next(p)
+			return
+		}
+		p.Release()
+	}
+}
+
+// recvState finds or creates receiver state, consulting the cluster flow
+// registry on first contact.
+func (ep *Endpoint) recvState(p *sim.Packet) *recvFlow {
+	rf := ep.recvFlows[p.FlowID]
+	if rf == nil {
+		f := ep.registry[p.FlowID]
+		if f == nil {
+			return nil
+		}
+		mtu := int64(ep.host.Config().MTU)
+		total := int32((f.Size + mtu - 1) / mtu)
+		if total == 0 {
+			total = 1
+		}
+		rf = &recvFlow{f: f, total: total, got: make([]uint64, (total+63)/64)}
+		ep.recvFlows[p.FlowID] = rf
+	}
+	return rf
+}
+
+// onData handles arrival of a data packet (full or trimmed) at the
+// receiver.
+func (ep *Endpoint) onData(p *sim.Packet) {
+	rf := ep.recvState(p)
+	if rf == nil {
+		p.Release()
+		return
+	}
+	if p.Trimmed {
+		// Header survived; payload was cut: NACK for retransmission.
+		ep.sendCtrl(sim.KindNack, rf.f, p.Seq, 0)
+		if !rf.complete() {
+			ep.addPullCredit(rf.f.ID)
+		}
+		p.Release()
+		return
+	}
+	first := !rf.has(p.Seq)
+	if first {
+		rf.mark(p.Seq)
+		ep.metrics.RecordDelivery(rf.f, int(p.PayloadSize), int(p.Hops), ep.host.Engine().Now())
+		if rf.complete() {
+			ep.metrics.FlowDone(rf.f, ep.host.Engine().Now())
+		}
+	}
+	ep.sendCtrl(sim.KindAck, rf.f, p.Seq, 0)
+	if !rf.complete() {
+		ep.addPullCredit(rf.f.ID)
+	}
+	p.Release()
+}
+
+func (ep *Endpoint) onAck(p *sim.Packet) {
+	sf := ep.sendFlows[p.FlowID]
+	if sf != nil && !sf.done {
+		idx, bit := p.Seq/64, uint(p.Seq%64)
+		if sf.acked[idx]&(1<<bit) == 0 {
+			sf.acked[idx] |= 1 << bit
+			sf.nAcked++
+		}
+		if sf.nAcked == sf.total {
+			sf.done = true
+			sf.rto.Stop()
+		} else {
+			sf.rto.Arm(ep.params.RTO)
+		}
+	}
+	p.Release()
+}
+
+func (ep *Endpoint) onNack(p *sim.Packet) {
+	sf := ep.sendFlows[p.FlowID]
+	if sf != nil && !sf.done {
+		sf.rtx = append(sf.rtx, p.Seq)
+		sf.f.Retransmits++
+		sf.rto.Arm(ep.params.RTO)
+	}
+	p.Release()
+}
+
+func (ep *Endpoint) onPull(p *sim.Packet) {
+	sf := ep.sendFlows[p.FlowID]
+	if sf != nil && !sf.done {
+		switch {
+		case len(sf.rtx) > 0:
+			seq := sf.rtx[0]
+			sf.rtx = sf.rtx[1:]
+			ep.sendData(sf, seq)
+		case sf.nextNew < sf.total:
+			ep.sendData(sf, sf.nextNew)
+			sf.nextNew++
+		}
+	}
+	p.Release()
+}
+
+// onRTO resends the lowest unacked packet — the safety net for lost
+// control packets (header-queue overflow).
+func (ep *Endpoint) onRTO(sf *sendFlow) {
+	if sf.done {
+		return
+	}
+	for seq := int32(0); seq < sf.total; seq++ {
+		if sf.acked[seq/64]&(1<<uint(seq%64)) == 0 {
+			ep.sendData(sf, seq)
+			sf.f.Retransmits++
+			break
+		}
+	}
+	sf.rto.Arm(ep.params.RTO)
+}
+
+// sendCtrl emits a control packet (ACK/NACK/PULL) back to the flow's
+// sender.
+func (ep *Endpoint) sendCtrl(kind sim.Kind, f *sim.Flow, seq int32, pullNo int32) {
+	p := sim.NewPacket()
+	p.Kind = kind
+	p.Class = sim.ClassControl
+	p.SrcHost, p.DstHost = f.DstHost, f.SrcHost
+	p.SrcRack, p.DstRack = f.DstRack, f.SrcRack
+	p.Size = int32(ep.host.Config().HeaderBytes)
+	p.FlowID = f.ID
+	p.Seq = seq
+	p.PullNo = pullNo
+	ep.host.Send(p)
+}
+
+// addPullCredit enqueues one pull credit for the flow and kicks the pacer.
+func (ep *Endpoint) addPullCredit(flowID int64) {
+	ep.pullCredits = append(ep.pullCredits, flowID)
+	ep.pace()
+}
+
+// pace emits pulls one MTU-time apart while credits remain.
+func (ep *Endpoint) pace() {
+	if ep.pacing || len(ep.pullCredits) == 0 {
+		return
+	}
+	ep.pacing = true
+	cfg := ep.host.Config()
+	spacing := cfg.SerializationDelay(cfg.MTU)
+	ep.host.Engine().After(spacing, func() {
+		ep.pacing = false
+		if len(ep.pullCredits) == 0 {
+			return
+		}
+		id := ep.pullCredits[0]
+		ep.pullCredits = ep.pullCredits[1:]
+		if rf := ep.recvFlows[id]; rf != nil && !rf.complete() {
+			ep.sendCtrl(sim.KindPull, rf.f, 0, 0)
+		}
+		ep.pace()
+	})
+}
+
+func (rf *recvFlow) has(seq int32) bool {
+	return rf.got[seq/64]&(1<<uint(seq%64)) != 0
+}
+
+func (rf *recvFlow) mark(seq int32) {
+	rf.got[seq/64] |= 1 << uint(seq%64)
+	rf.nGot++
+}
+
+func (rf *recvFlow) complete() bool { return rf.nGot == rf.total }

@@ -1,0 +1,176 @@
+package ndp
+
+import (
+	"testing"
+
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
+)
+
+// miniSwitch is a single-output bottleneck: every packet goes out one port
+// toward its destination host. It models an output-queued switch port so
+// NDP's trimming and incast behaviour can be tested in isolation.
+type miniSwitch struct {
+	ports map[int32]*sim.Port // per destination host
+}
+
+func (s *miniSwitch) Receive(p *sim.Packet, _ *sim.Port) {
+	pt := s.ports[p.DstHost]
+	if pt == nil {
+		p.Release()
+		return
+	}
+	pt.Enqueue(p)
+}
+
+// rig builds n hosts all attached to one switch with per-host output
+// ports, NDP everywhere.
+type rig struct {
+	eng      *eventsim.Engine
+	cfg      sim.Config
+	hosts    []*sim.Host
+	sw       *miniSwitch
+	metrics  *sim.Metrics
+	eps      []*Endpoint
+	registry map[int64]*sim.Flow
+}
+
+func newRig(t *testing.T, n int, cfg sim.Config) *rig {
+	t.Helper()
+	r := &rig{
+		eng:      eventsim.New(),
+		cfg:      cfg,
+		metrics:  sim.NewMetrics(),
+		registry: make(map[int64]*sim.Flow),
+	}
+	r.sw = &miniSwitch{ports: make(map[int32]*sim.Port)}
+	for i := 0; i < n; i++ {
+		h := sim.NewHost(r.eng, &r.cfg, int32(i), 0)
+		h.SetNIC(sim.NewPort(r.eng, &r.cfg, "up", r.sw))
+		r.sw.ports[int32(i)] = sim.NewPort(r.eng, &r.cfg, "down", h)
+		r.hosts = append(r.hosts, h)
+	}
+	r.eps = Attach(r.hosts, r.metrics, DefaultParams(), r.registry)
+	return r
+}
+
+func (r *rig) flow(id int64, src, dst int, size int64) *sim.Flow {
+	f := &sim.Flow{ID: id, SrcHost: int32(src), DstHost: int32(dst), Size: size,
+		Class: sim.ClassLowLatency}
+	r.registry[id] = f
+	r.metrics.AddFlow(f)
+	return f
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	r := newRig(t, 2, sim.DefaultConfig())
+	f := r.flow(1, 0, 1, 15000) // 10 packets
+	r.eps[0].StartFlow(f)
+	r.eng.RunUntil(10 * eventsim.Millisecond)
+	if !f.Done {
+		t.Fatalf("flow incomplete: %d/%d", f.BytesRcvd, f.Size)
+	}
+	// 10 packets over 2 serializations: ≥ 10 × 1.2 µs; the pull-paced tail
+	// adds a little. Must be well under 100 µs on an idle path.
+	if fct := f.FCT(); fct < 12*eventsim.Microsecond || fct > 100*eventsim.Microsecond {
+		t.Fatalf("FCT = %v", fct)
+	}
+	if f.Retransmits != 0 {
+		t.Fatalf("retransmits on clean path: %d", f.Retransmits)
+	}
+}
+
+func TestTinyFlowSinglePacket(t *testing.T) {
+	r := newRig(t, 2, sim.DefaultConfig())
+	f := r.flow(1, 0, 1, 64)
+	r.eps[0].StartFlow(f)
+	r.eng.RunUntil(1 * eventsim.Millisecond)
+	if !f.Done {
+		t.Fatal("single-packet flow incomplete")
+	}
+}
+
+func TestIncastTrimsAndCompletes(t *testing.T) {
+	// 8 senders blast one receiver: initial windows overflow the 12 KB
+	// data queue, headers survive, NACKs trigger retransmits, PULL pacing
+	// drains everything at line rate.
+	r := newRig(t, 9, sim.DefaultConfig())
+	var flows []*sim.Flow
+	for i := 1; i <= 8; i++ {
+		f := r.flow(int64(i), i, 0, 45000) // 30 packets each
+		flows = append(flows, f)
+	}
+	for i, f := range flows {
+		_ = i
+		r.eps[f.SrcHost].StartFlow(f)
+	}
+	r.eng.RunUntil(50 * eventsim.Millisecond)
+	var retrans int
+	for _, f := range flows {
+		if !f.Done {
+			t.Fatalf("incast flow %d incomplete (%d/%d)", f.ID, f.BytesRcvd, f.Size)
+		}
+		retrans += f.Retransmits
+	}
+	if retrans == 0 {
+		t.Fatal("incast should have trimmed and retransmitted")
+	}
+	// Total 240 packets ≈ 360 KB at 10 Gb/s ≈ 288 µs minimum through the
+	// single downlink; completion should be within a small factor.
+	for _, f := range flows {
+		if f.FCT() > 2*eventsim.Millisecond {
+			t.Fatalf("flow %d FCT %v too slow", f.ID, f.FCT())
+		}
+	}
+}
+
+func TestHeaderLossRecoveredByRTO(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.DataQueueBytes = 3000  // trims quickly
+	cfg.HeaderQueueBytes = 128 // and drops most headers
+	r := newRig(t, 3, cfg)
+	f1 := r.flow(1, 1, 0, 30000)
+	f2 := r.flow(2, 2, 0, 30000)
+	r.eps[1].StartFlow(f1)
+	r.eps[2].StartFlow(f2)
+	r.eng.RunUntil(100 * eventsim.Millisecond)
+	if !f1.Done || !f2.Done {
+		t.Fatalf("flows incomplete despite RTO: %v/%v", f1.Done, f2.Done)
+	}
+}
+
+func TestReceiverCompletionTimeIsUsed(t *testing.T) {
+	r := newRig(t, 2, sim.DefaultConfig())
+	f := r.flow(1, 0, 1, 1500)
+	r.eps[0].StartFlow(f)
+	r.eng.RunUntil(1 * eventsim.Millisecond)
+	// End must be after Start by at least two serializations + two props.
+	min := 2*r.cfg.SerializationDelay(1500) + 2*r.cfg.PropDelay
+	if f.End-f.Start < min {
+		t.Fatalf("FCT %v below physical minimum %v", f.End-f.Start, min)
+	}
+}
+
+func TestStartFlowWrongHostPanics(t *testing.T) {
+	r := newRig(t, 2, sim.DefaultConfig())
+	f := r.flow(1, 0, 1, 1500)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong-host StartFlow")
+		}
+	}()
+	r.eps[1].StartFlow(f)
+}
+
+func TestBulkClassFlowOverNDP(t *testing.T) {
+	// Static networks carry bulk-class flows over NDP: they ride the bulk
+	// queue but must still complete via trimming.
+	r := newRig(t, 2, sim.DefaultConfig())
+	f := r.flow(1, 0, 1, 150000)
+	f.Class = sim.ClassBulk
+	r.eps[0].StartFlow(f)
+	r.eng.RunUntil(10 * eventsim.Millisecond)
+	if !f.Done {
+		t.Fatal("bulk-class NDP flow incomplete")
+	}
+}

@@ -1,0 +1,306 @@
+package rotorlb
+
+import (
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
+)
+
+// rackAgent coordinates the bulk traffic of one rack: it owns the rack's
+// virtual output queues, negotiates VLB offers with peer racks, and paces
+// polled host transmissions into each circuit's window (§3.5: "end hosts
+// transmit when polled by their attached ToR").
+type rackAgent struct {
+	lb   *LB
+	rack int
+
+	voq   []segQueue // own traffic, by final destination rack
+	relay []segQueue // stored VLB traffic, by final destination rack
+
+	relayTotal int64
+
+	// nicFree models when each local host's NIC drains its granted bulk,
+	// so concurrent circuit sessions do not over-commit one host's uplink
+	// (the ToR "polls" only hosts that can actually transmit, §3.5).
+	nicFree map[int32]eventsim.Time
+
+	// vlbBudget caps, per slice, how many VLB bytes may be carved from
+	// each host — a host can physically transmit only one window's worth,
+	// so offering more would strand carved bytes until the window closes.
+	vlbBudget map[int32]int64
+
+	// SentDirect/SentRelay/SentVLB count bytes launched per path type.
+	SentDirect, SentRelay, SentVLB uint64
+}
+
+func newRackAgent(lb *LB, rack int) *rackAgent {
+	n := lb.net.NumRacks()
+	return &rackAgent{
+		lb:      lb,
+		rack:    rack,
+		voq:     make([]segQueue, n),
+		relay:   make([]segQueue, n),
+		nicFree: make(map[int32]eventsim.Time),
+	}
+}
+
+// hostReady reports whether host h's NIC backlog is shallow enough to grant
+// another packet without risking queue overflow.
+func (a *rackAgent) hostReady(h int32, now, txTime eventsim.Time) bool {
+	return a.nicFree[h] <= now+4*txTime
+}
+
+// grantTo accounts one packet of granted NIC time at host h.
+func (a *rackAgent) grantTo(h int32, now, txTime eventsim.Time) {
+	t := a.nicFree[h]
+	if t < now {
+		t = now
+	}
+	a.nicFree[h] = t + txTime
+}
+
+// QueuedFor returns (own, relayed) bytes queued toward dst.
+func (a *rackAgent) QueuedFor(dst int) (own, relayed int64) {
+	return a.voq[dst].bytes, a.relay[dst].bytes
+}
+
+// openSessions starts one paced transmission session per active circuit at
+// a slice boundary, after the offer/accept exchange for VLB admission.
+func (a *rackAgent) openSessions(abs int64) {
+	net := a.lb.net
+	circuits := net.ActiveCircuits(abs, a.rack)
+	now := net.Engine().Now()
+	sliceBytes := int64(net.Config().BytesIn(net.SliceDuration()))
+	a.vlbBudget = make(map[int32]int64, net.HostsPerRack())
+	lo := a.rack * net.HostsPerRack()
+	for i := 0; i < net.HostsPerRack(); i++ {
+		a.vlbBudget[int32(lo+i)] = sliceBytes
+	}
+	for _, c := range circuits {
+		c := c
+		windowBytes := int64(net.Config().BytesIn(c.WindowEnd - c.WindowStart))
+		// VLB offer/accept (§3.4, RotorLB phase 3): if this circuit's
+		// direct demand leaves spare capacity and other queues are skewed,
+		// ask the peer to relay. The exchange is modelled as in-band
+		// control at slice start with negligible size.
+		var vlbQ segQueue
+		if !a.lb.params.DisableVLB {
+			spare := windowBytes - a.relay[c.Peer].bytes - a.voq[c.Peer].bytes
+			if spare > int64(net.Config().MTU) {
+				a.negotiateVLB(c.Peer, spare, &vlbQ)
+			}
+		}
+		sess := &session{
+			agent:    a,
+			circuit:  c,
+			deadline: now + c.WindowEnd,
+			vlbQ:     vlbQ,
+		}
+		startAt := c.WindowStart + a.lb.params.StartMargin
+		net.Engine().After(startAt, sess.pump)
+	}
+}
+
+// negotiateVLB proposes two-hop traffic to the peer rack and moves accepted
+// bytes into the session's VLB queue.
+func (a *rackAgent) negotiateVLB(peer int, spare int64, vlbQ *segQueue) {
+	peerAgent := a.lb.agents[peer]
+	net := a.lb.net
+	for dst := range a.voq {
+		if spare <= 0 {
+			return
+		}
+		if dst == peer || dst == a.rack {
+			continue
+		}
+		q := &a.voq[dst]
+		threshold := a.lb.params.VLBThresholdBytes
+		if !net.DirectReachable(a.rack, dst) {
+			// Failures severed this pair's direct matching: no direct
+			// window will ever drain the queue, so offload all of it
+			// (§3.6.2 rerouting) — provided the relay can deliver.
+			threshold = 0
+		}
+		if q.bytes <= threshold {
+			continue // not skewed enough to pay the 2-hop tax
+		}
+		if !net.DirectReachable(peer, dst) {
+			continue // the relay itself could never deliver: decline
+		}
+		// Offer the excess over what the direct circuit will drain.
+		offer := q.bytes - threshold
+		if offer > spare {
+			offer = spare
+		}
+		granted := peerAgent.acceptVLB(offer)
+		for granted > 0 {
+			h, nonEmpty := q.peekHost()
+			if !nonEmpty {
+				break
+			}
+			budget := a.vlbBudget[h]
+			if budget <= 0 {
+				break // this host cannot physically send more this slice
+			}
+			limit := granted
+			if budget < limit {
+				limit = budget
+			}
+			seg, ok := q.carve(limit)
+			if !ok {
+				break
+			}
+			vlbQ.push(seg)
+			a.vlbBudget[h] -= seg.bytes
+			granted -= seg.bytes
+			spare -= seg.bytes
+		}
+	}
+}
+
+// acceptVLB grants relay admission bounded by this rack's relay buffer.
+func (a *rackAgent) acceptVLB(offer int64) int64 {
+	space := a.lb.params.RelayBufferBytes - a.relayTotal
+	if space <= 0 {
+		return 0
+	}
+	if offer > space {
+		offer = space
+	}
+	return offer
+}
+
+// sendLocal transmits a rack-local bulk flow straight through the ToR,
+// self-paced at the NIC rate.
+func (a *rackAgent) sendLocal(f *sim.Flow) {
+	net := a.lb.net
+	cfg := net.Config()
+	mtu := int64(cfg.MTU)
+	var step func(sent int64)
+	step = func(sent int64) {
+		if sent >= f.Size {
+			return
+		}
+		n := mtu
+		if f.Size-sent < n {
+			n = f.Size - sent
+		}
+		p := a.newBulkPacket(segment{f: f, host: f.SrcHost, bytes: n}, -1)
+		net.Hosts()[f.SrcHost].Send(p)
+		net.Engine().After(cfg.SerializationDelay(int(n)), func() { step(sent + n) })
+	}
+	step(0)
+}
+
+// session paces one circuit's transmissions across its window.
+type session struct {
+	agent    *rackAgent
+	circuit  sim.Circuit
+	deadline eventsim.Time
+	vlbQ     segQueue
+}
+
+// pump emits one MTU-sized bulk packet per MTU serialization time until
+// the window closes or all eligible queues drain. Service order follows
+// RotorLB: stored relay traffic, then own direct, then admitted VLB.
+func (s *session) pump() {
+	a := s.agent
+	net := a.lb.net
+	cfg := net.Config()
+	now := net.Engine().Now()
+	txTime := cfg.SerializationDelay(cfg.MTU)
+	// Stop early enough for the packet to clear the host NIC (which
+	// hostReady lets run up to ~4 packets deep), serialize at the ToR and
+	// propagate before the blackout.
+	if now+7*txTime+2*cfg.PropDelay > s.deadline {
+		s.close()
+		return
+	}
+	mtu := int64(cfg.MTU)
+	var seg segment
+	var ok bool
+	relayLeg := false
+	vlb := false
+	blocked := false
+	ready := func(h int32) bool { return a.hostReady(h, now, txTime) }
+	// Service order: stored relay, own direct, admitted VLB — carving from
+	// the first segment whose host can transmit (the ToR polls whichever
+	// host has data for this circuit, §3.5).
+	if seg, ok = a.relay[s.circuit.Peer].carveReady(mtu, ready); ok {
+		relayLeg = true
+		a.relayTotal -= seg.bytes
+	} else if !a.relay[s.circuit.Peer].empty() {
+		blocked = true
+	}
+	if !ok {
+		if seg, ok = a.voq[s.circuit.Peer].carveReady(mtu, ready); !ok && !a.voq[s.circuit.Peer].empty() {
+			blocked = true
+		}
+	}
+	if !ok {
+		if seg, ok = s.vlbQ.carveReady(mtu, ready); ok {
+			vlb = true
+		} else if !s.vlbQ.empty() {
+			blocked = true
+		}
+	}
+	if !ok {
+		// Nothing grantable right now. If a queue was merely blocked on
+		// busy NICs, retry soon; otherwise poll for new arrivals.
+		wait := 10 * txTime
+		if blocked {
+			wait = txTime
+		}
+		net.Engine().After(wait, s.pump)
+		return
+	}
+	a.grantTo(seg.host, now, txTime)
+
+	relayRack := int32(-1)
+	if vlb {
+		relayRack = int32(s.circuit.Peer)
+	}
+	p := a.newBulkPacket(seg, relayRack)
+	switch {
+	case relayLeg:
+		a.SentRelay += uint64(seg.bytes)
+	case vlb:
+		a.SentVLB += uint64(seg.bytes)
+	default:
+		a.SentDirect += uint64(seg.bytes)
+	}
+	// Poll the owning host: it enqueues on its NIC now; priority queueing
+	// there lets low-latency traffic jump ahead (§4.2).
+	net.Hosts()[seg.host].Send(p)
+	net.Engine().After(txTime, s.pump)
+}
+
+// close returns any admitted-but-unsent VLB bytes to their origin queues;
+// they never left their hosts, so they simply wait for a later circuit.
+func (s *session) close() {
+	a := s.agent
+	for {
+		seg, ok := s.vlbQ.carve(1 << 62)
+		if !ok {
+			return
+		}
+		seg.hops = 0
+		a.voq[seg.f.DstRack].pushFront(seg)
+	}
+}
+
+// newBulkPacket materializes a segment chunk as a wire packet.
+func (a *rackAgent) newBulkPacket(seg segment, relayRack int32) *sim.Packet {
+	p := sim.NewPacket()
+	p.Kind = sim.KindBulk
+	p.Class = sim.ClassBulk
+	p.SrcHost = seg.host
+	p.SrcRack = int32(a.rack)
+	p.DstHost = seg.f.DstHost
+	p.DstRack = seg.f.DstRack
+	p.Size = int32(seg.bytes)
+	p.PayloadSize = int32(seg.bytes)
+	p.FlowID = seg.f.ID
+	p.RelayRack = relayRack
+	p.Hops = seg.hops
+	return p
+}

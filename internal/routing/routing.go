@@ -1,0 +1,291 @@
+// Package routing builds and queries per-topology-slice forwarding tables.
+//
+// Opera's ToRs forward low-latency packets along expander paths that change
+// every topology slice (§4.3): each ToR holds, per slice, a next-hop entry
+// for every destination rack. This package precomputes those tables from
+// port maps (which uplink reaches which rack during which slice), retaining
+// every equal-cost uplink so the simulator can spray packets across the
+// path diversity of each slice, and validates the loop-freedom invariant
+// that makes ε a sound drain bound.
+//
+// The same builder serves the static expander baseline (a single eternal
+// "slice") and the failure analysis (port maps with failed links masked
+// out). It also implements the P4 rule-count model behind Table 1.
+package routing
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/opera-net/opera/internal/topology"
+)
+
+// Unreachable is the distance stored for unreachable rack pairs.
+const Unreachable = 0xFF
+
+// PortMap describes connectivity during one topology slice:
+// PortMap[rack][uplink] is the peer rack reached through that uplink, or -1
+// if the uplink is unusable this slice (transitioning switch, self-loop
+// matching entry, or failed link).
+type PortMap [][]int32
+
+// NumUplinks returns the uplink count (ports per rack).
+func (pm PortMap) NumUplinks() int {
+	if len(pm) == 0 {
+		return 0
+	}
+	return len(pm[0])
+}
+
+// Tables holds per-slice next-hop state for every (source, destination)
+// rack pair. Uplink sets are bitmasks (bit i = uplink i usable on a
+// shortest path), so a table cell is five bytes; the paper-scale 108-rack
+// network's full cycle fits in ~6 MB.
+type Tables struct {
+	N      int // racks
+	U      int // uplinks per rack
+	Slices int
+
+	dist []uint8  // [slice*N*N + src*N + dst]
+	mask []uint32 // same indexing; bit u set ⇒ uplink u lies on a shortest path
+}
+
+// Build constructs tables from one PortMap per slice. All maps must agree
+// on rack and uplink counts, and uplinks must be at most 32.
+func Build(maps []PortMap) (*Tables, error) {
+	if len(maps) == 0 {
+		return nil, fmt.Errorf("routing: no port maps")
+	}
+	n := len(maps[0])
+	u := maps[0].NumUplinks()
+	if u > 32 {
+		return nil, fmt.Errorf("routing: %d uplinks exceed 32-bit mask", u)
+	}
+	t := &Tables{
+		N:      n,
+		U:      u,
+		Slices: len(maps),
+		dist:   make([]uint8, len(maps)*n*n),
+		mask:   make([]uint32, len(maps)*n*n),
+	}
+	// Scratch BFS state reused across slices.
+	distFrom := make([][]int32, n) // distFrom[v] filled per slice
+	for i := range distFrom {
+		distFrom[i] = make([]int32, n)
+	}
+	queue := make([]int32, 0, n)
+
+	for s, pm := range maps {
+		if len(pm) != n || pm.NumUplinks() != u {
+			return nil, fmt.Errorf("routing: slice %d port map has inconsistent shape", s)
+		}
+		// BFS from every rack over this slice's connectivity.
+		for src := 0; src < n; src++ {
+			d := distFrom[src]
+			for i := range d {
+				d[i] = -1
+			}
+			d[src] = 0
+			queue = queue[:0]
+			queue = append(queue, int32(src))
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for _, peer := range pm[v] {
+					if peer < 0 || peer == v {
+						continue
+					}
+					if d[peer] == -1 {
+						d[peer] = d[v] + 1
+						queue = append(queue, peer)
+					}
+				}
+			}
+		}
+		// Fill next-hop masks: uplink k of src helps toward dst iff its
+		// peer is one hop closer.
+		base := s * n * n
+		for src := 0; src < n; src++ {
+			dSrc := distFrom[src]
+			for dst := 0; dst < n; dst++ {
+				idx := base + src*n + dst
+				if dst == src {
+					t.dist[idx] = 0
+					continue
+				}
+				if dSrc[dst] < 0 {
+					t.dist[idx] = Unreachable
+					continue
+				}
+				t.dist[idx] = uint8(dSrc[dst])
+				var m uint32
+				for k, peer := range pm[src] {
+					if peer < 0 || int(peer) == src {
+						continue
+					}
+					if distFrom[peer][dst] == dSrc[dst]-1 {
+						m |= 1 << uint(k)
+					}
+				}
+				t.mask[idx] = m
+			}
+		}
+	}
+	return t, nil
+}
+
+// MustBuild is Build but panics on error.
+func MustBuild(maps []PortMap) *Tables {
+	t, err := Build(maps)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Dist returns the hop distance from src to dst during slice s, or
+// Unreachable.
+func (t *Tables) Dist(slice, src, dst int) int {
+	return int(t.dist[t.idx(slice, src, dst)])
+}
+
+// Mask returns the equal-cost uplink bitmask from src toward dst during
+// slice s. A zero mask with src != dst means unreachable.
+func (t *Tables) Mask(slice, src, dst int) uint32 {
+	return t.mask[t.idx(slice, src, dst)]
+}
+
+// PickUplink selects one uplink from the equal-cost set using the caller's
+// random value (e.g. per-packet), returning -1 if none. Selection is
+// uniform across set bits.
+func (t *Tables) PickUplink(slice, src, dst int, rnd uint32) int {
+	m := t.mask[t.idx(slice, src, dst)]
+	if m == 0 {
+		return -1
+	}
+	k := int(rnd) % bits.OnesCount32(m)
+	for {
+		low := bits.TrailingZeros32(m)
+		if k == 0 {
+			return low
+		}
+		m &^= 1 << uint(low)
+		k--
+	}
+}
+
+// MaxDist returns the largest finite distance across all slices and pairs —
+// the worst-case path length that sizes ε (§4.1).
+func (t *Tables) MaxDist() int {
+	max := 0
+	for _, d := range t.dist {
+		if d != Unreachable && int(d) > max {
+			max = int(d)
+		}
+	}
+	return max
+}
+
+func (t *Tables) idx(slice, src, dst int) int {
+	if slice < 0 || slice >= t.Slices {
+		panic(fmt.Sprintf("routing: slice %d out of range [0,%d)", slice, t.Slices))
+	}
+	return slice*t.N*t.N + src*t.N + dst
+}
+
+// Validate checks loop freedom: for every (slice, src, dst) and every
+// uplink in the mask, the peer's distance to dst is exactly dist-1. This is
+// the invariant that guarantees a packet forwarded within a single slice
+// strictly approaches its destination.
+func (t *Tables) Validate(maps []PortMap) error {
+	if len(maps) != t.Slices {
+		return fmt.Errorf("routing: validate: %d maps for %d slices", len(maps), t.Slices)
+	}
+	for s := 0; s < t.Slices; s++ {
+		pm := maps[s]
+		for src := 0; src < t.N; src++ {
+			for dst := 0; dst < t.N; dst++ {
+				if src == dst {
+					continue
+				}
+				d := t.Dist(s, src, dst)
+				m := t.Mask(s, src, dst)
+				if d == Unreachable {
+					if m != 0 {
+						return fmt.Errorf("routing: slice %d (%d→%d): unreachable but mask %b", s, src, dst, m)
+					}
+					continue
+				}
+				if m == 0 {
+					return fmt.Errorf("routing: slice %d (%d→%d): reachable (dist %d) but empty mask", s, src, dst, d)
+				}
+				for k := 0; k < t.U; k++ {
+					if m&(1<<uint(k)) == 0 {
+						continue
+					}
+					peer := pm[src][k]
+					if peer < 0 {
+						return fmt.Errorf("routing: slice %d (%d→%d): masked uplink %d unusable", s, src, dst, k)
+					}
+					if pd := t.Dist(s, int(peer), dst); pd != d-1 {
+						return fmt.Errorf("routing: slice %d (%d→%d): uplink %d peer %d at dist %d, want %d",
+							s, src, dst, k, peer, pd, d-1)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// OperaPortMaps derives one PortMap per slice-in-cycle from an Opera
+// topology: uplink k of each rack reaches its matching peer, except when
+// switch k is transitioning (drain rule, §3.1.1) or the matching entry is a
+// self-loop.
+func OperaPortMaps(o *topology.Opera) []PortMap {
+	maps := make([]PortMap, o.SlicesPerCycle())
+	for s := range maps {
+		pm := make(PortMap, o.NumRacks())
+		for r := range pm {
+			pm[r] = make([]int32, o.Uplinks())
+		}
+		for sw := 0; sw < o.Uplinks(); sw++ {
+			if o.IsTransitioning(sw, s) {
+				for r := range pm {
+					pm[r][sw] = -1
+				}
+				continue
+			}
+			m := o.SwitchMatching(sw, s)
+			for r := range pm {
+				peer := m.Peer(r)
+				if peer == r {
+					pm[r][sw] = -1
+				} else {
+					pm[r][sw] = int32(peer)
+				}
+			}
+		}
+		maps[s] = pm
+	}
+	return maps
+}
+
+// ExpanderPortMap derives the single static PortMap of an expander network:
+// uplink k of each rack is its k-th neighbor.
+func ExpanderPortMap(e *topology.Expander) []PortMap {
+	pm := make(PortMap, e.NumRacks)
+	for r := 0; r < e.NumRacks; r++ {
+		ns := e.G.Neighbors(r)
+		row := make([]int32, e.Degree)
+		for i := range row {
+			if i < len(ns) {
+				row[i] = ns[i]
+			} else {
+				row[i] = -1
+			}
+		}
+		pm[r] = row
+	}
+	return []PortMap{pm}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/topology"
+)
+
+// ClosNet assembles the M:1-oversubscribed three-tier folded-Clos baseline
+// with NDP transport and per-packet ECMP spraying: packets travel
+// host → ToR → (random pod agg) → (random core) → agg → ToR → host, with
+// the downward path determined by the destination.
+type ClosNet struct {
+	eng     *eventsim.Engine
+	cfg     *Config
+	topo    *topology.FoldedClos
+	hosts   []*Host
+	tors    []*ClosToR
+	aggs    []*ClosAgg
+	cores   []*ClosCore
+	metrics *Metrics
+}
+
+// NewClosNet wires the folded-Clos fabric.
+func NewClosNet(eng *eventsim.Engine, cfg Config, topo *topology.FoldedClos, seed int64) *ClosNet {
+	n := &ClosNet{eng: eng, cfg: &cfg, topo: topo, metrics: NewMetrics()}
+	n.hosts = make([]*Host, topo.NumHosts())
+	n.tors = make([]*ClosToR, topo.NumToRs)
+	n.aggs = make([]*ClosAgg, topo.NumAgg)
+	n.cores = make([]*ClosCore, topo.NumCore)
+
+	for i := range n.tors {
+		n.tors[i] = &ClosToR{net: n, id: int32(i), rng: rand.New(rand.NewSource(seed + int64(i) + 1))}
+	}
+	for i := range n.aggs {
+		n.aggs[i] = &ClosAgg{net: n, id: int32(i), rng: rand.New(rand.NewSource(seed + 10_000 + int64(i)))}
+	}
+	for i := range n.cores {
+		n.cores[i] = &ClosCore{net: n, id: int32(i)}
+	}
+	d := topo.HostsPerToR
+	for h := range n.hosts {
+		host := NewHost(eng, n.cfg, int32(h), int32(h/d))
+		n.hosts[h] = host
+		host.SetNIC(NewPort(eng, n.cfg, fmt.Sprintf("host%d->tor%d", h, host.Rack), n.tors[host.Rack]))
+	}
+	// ToR ports: d down to hosts, u up — one to each agg in its pod.
+	for t, tor := range n.tors {
+		tor.down = make([]*Port, d)
+		for i := 0; i < d; i++ {
+			host := n.hosts[t*d+i]
+			tor.down[i] = NewPort(eng, n.cfg, fmt.Sprintf("tor%d->host%d", t, host.ID), host)
+		}
+		pod := topo.ToRPod(t)
+		tor.up = make([]*Port, topo.UplinksPerToR)
+		for i := 0; i < topo.UplinksPerToR; i++ {
+			agg := n.aggs[pod*topo.AggPerPod+i%topo.AggPerPod]
+			tor.up[i] = NewPort(eng, n.cfg, fmt.Sprintf("tor%d->agg%d", t, agg.id), agg)
+		}
+	}
+	// Agg ports: k/2 down to pod ToRs, k/2 up to its core group.
+	corePerAgg := topo.K / 2
+	for a, agg := range n.aggs {
+		pod := a / topo.AggPerPod
+		inPod := a % topo.AggPerPod
+		agg.pod = int32(pod)
+		agg.down = make([]*Port, topo.ToRsPerPod)
+		for i := 0; i < topo.ToRsPerPod; i++ {
+			tor := n.tors[pod*topo.ToRsPerPod+i]
+			agg.down[i] = NewPort(eng, n.cfg, fmt.Sprintf("agg%d->tor%d", a, tor.id), tor)
+		}
+		agg.up = make([]*Port, corePerAgg)
+		for i := 0; i < corePerAgg; i++ {
+			core := n.cores[(inPod*corePerAgg+i)%topo.NumCore]
+			agg.up[i] = NewPort(eng, n.cfg, fmt.Sprintf("agg%d->core%d", a, core.id), core)
+		}
+	}
+	// Core ports: one down to the corresponding agg of every pod.
+	for c, core := range n.cores {
+		inPodPos := c / corePerAgg // which in-pod agg position this core serves
+		core.down = make([]*Port, topo.NumPods)
+		for pod := 0; pod < topo.NumPods; pod++ {
+			agg := n.aggs[pod*topo.AggPerPod+inPodPos%topo.AggPerPod]
+			core.down[pod] = NewPort(eng, n.cfg, fmt.Sprintf("core%d->agg%d", c, agg.id), agg)
+		}
+	}
+	return n
+}
+
+// Engine returns the simulation engine.
+func (n *ClosNet) Engine() *eventsim.Engine { return n.eng }
+
+// Config returns the physical constants.
+func (n *ClosNet) Config() *Config { return n.cfg }
+
+// Metrics returns the metrics collector.
+func (n *ClosNet) Metrics() *Metrics { return n.metrics }
+
+// Hosts returns all hosts.
+func (n *ClosNet) Hosts() []*Host { return n.hosts }
+
+// Topology returns the Clos dimensions.
+func (n *ClosNet) Topology() *topology.FoldedClos { return n.topo }
+
+// ClosToR is a ToR switch: up for non-local, down for local.
+type ClosToR struct {
+	net  *ClosNet
+	id   int32
+	up   []*Port
+	down []*Port
+	rng  *rand.Rand
+}
+
+// Receive implements Node.
+func (t *ClosToR) Receive(p *Packet, _ *Port) {
+	if p.DstRack == t.id {
+		d := len(t.down)
+		idx := int(p.DstHost) - int(t.id)*d
+		if idx < 0 || idx >= d {
+			p.Release()
+			return
+		}
+		t.down[idx].Enqueue(p)
+		return
+	}
+	p.Hops++
+	t.up[t.rng.Intn(len(t.up))].Enqueue(p)
+}
+
+// ClosAgg is a pod aggregation switch.
+type ClosAgg struct {
+	net  *ClosNet
+	id   int32
+	pod  int32
+	up   []*Port
+	down []*Port
+	rng  *rand.Rand
+}
+
+// Receive implements Node.
+func (a *ClosAgg) Receive(p *Packet, _ *Port) {
+	topo := a.net.topo
+	dstPod := topo.ToRPod(int(p.DstRack))
+	if int32(dstPod) == a.pod {
+		a.down[int(p.DstRack)%topo.ToRsPerPod].Enqueue(p)
+		return
+	}
+	a.up[a.rng.Intn(len(a.up))].Enqueue(p)
+}
+
+// ClosCore is a core switch; the downward pod is determined by the
+// destination.
+type ClosCore struct {
+	net  *ClosNet
+	id   int32
+	down []*Port // indexed by pod
+}
+
+// Receive implements Node.
+func (c *ClosCore) Receive(p *Packet, _ *Port) {
+	pod := c.net.topo.ToRPod(int(p.DstRack))
+	c.down[pod].Enqueue(p)
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/routing"
+)
+
+// This file implements §3.6.2's failure handling in the running fabric:
+//
+//   - Links, ToRs and circuit switches can fail at any simulated time.
+//   - The ToRs adjacent to a failure detect it through the hello exchange
+//     at the start of the next matching (modelled as immediate detection —
+//     within one slice — at the endpoints).
+//   - Failure information spreads epidemically: each time a new circuit is
+//     configured, the ToRs at its two ends exchange hello messages carrying
+//     any failure news. Because all ToR pairs connect every cycle, every
+//     surviving ToR learns of a failure within at most two cycles (§3.6.2:
+//     1–10 ms).
+//   - A ToR that has learned of the failures recomputes its routing tables
+//     against the surviving topology; until then it may forward into dead
+//     circuits, where packets are lost (bulk takes the NACK path, NDP
+//     recovers low-latency traffic via retransmission timeouts).
+//
+// The post-failure tables are computed once per failure event (they are
+// what distributed recomputation converges to); each ToR simply switches
+// to them when the epidemic reaches it.
+
+// FailureState tracks runtime failures and the information epidemic.
+type FailureState struct {
+	net *OperaNet
+
+	linkDown [][]bool // [rack][switch]
+	torDown  []bool
+	swDown   []bool
+
+	// informed marks ToRs that have learned of the latest failure set and
+	// therefore use the recovery tables.
+	informed []bool
+	// epoch counts failure events; Tables are rebuilt per epoch.
+	epoch int
+
+	recovery *routing.Tables
+
+	// LostToDeadLinks counts packets that sailed into a failed circuit.
+	LostToDeadLinks uint64
+}
+
+func newFailureState(n *OperaNet) *FailureState {
+	fs := &FailureState{net: n}
+	fs.linkDown = make([][]bool, n.topo.NumRacks())
+	for i := range fs.linkDown {
+		fs.linkDown[i] = make([]bool, n.topo.Uplinks())
+	}
+	fs.torDown = make([]bool, n.topo.NumRacks())
+	fs.swDown = make([]bool, n.topo.Uplinks())
+	fs.informed = make([]bool, n.topo.NumRacks())
+	return fs
+}
+
+// Failures returns the network's failure state, creating it lazily.
+func (n *OperaNet) Failures() *FailureState {
+	if n.failures == nil {
+		n.failures = newFailureState(n)
+	}
+	return n.failures
+}
+
+// LinkUp reports whether the rack↔switch cable is intact and both ends
+// functional.
+func (fs *FailureState) LinkUp(rack, sw int) bool {
+	return !fs.linkDown[rack][sw] && !fs.torDown[rack] && !fs.swDown[sw]
+}
+
+// FailLink schedules the rack↔switch cable to fail at the given time.
+func (fs *FailureState) FailLink(rack, sw int, at eventsim.Time) {
+	fs.net.eng.At(at, func() {
+		fs.linkDown[rack][sw] = true
+		fs.onFailure([]int{rack})
+	})
+}
+
+// FailToR schedules a whole ToR to fail: its hosts drop off the network
+// and its circuits go dark. Neighbors detect via missing hellos.
+func (fs *FailureState) FailToR(rack int, at eventsim.Time) {
+	fs.net.eng.At(at, func() {
+		fs.torDown[rack] = true
+		// Every rack currently circuit-connected to it detects at its next
+		// hello; model: peers in the current slice are informed.
+		sc := int(fs.net.curSlice % int64(fs.net.topo.SlicesPerCycle()))
+		var detectors []int
+		for sw := 0; sw < fs.net.topo.Uplinks(); sw++ {
+			p := fs.net.topo.SwitchMatching(sw, sc).Peer(rack)
+			if p != rack {
+				detectors = append(detectors, p)
+			}
+		}
+		fs.onFailure(detectors)
+	})
+}
+
+// FailSwitch schedules a rotor switch to fail entirely.
+func (fs *FailureState) FailSwitch(sw int, at eventsim.Time) {
+	fs.net.eng.At(at, func() {
+		fs.swDown[sw] = true
+		// Every ToR detects on its own uplink (signal loss, §3.5).
+		all := make([]int, fs.net.topo.NumRacks())
+		for i := range all {
+			all[i] = i
+		}
+		fs.onFailure(all)
+	})
+}
+
+// onFailure starts a new epoch: rebuild recovery tables against the
+// surviving topology and seed the epidemic with the detecting ToRs.
+func (fs *FailureState) onFailure(detectors []int) {
+	fs.epoch++
+	for i := range fs.informed {
+		fs.informed[i] = false
+	}
+	for _, d := range detectors {
+		if !fs.torDown[d] {
+			fs.informed[d] = true
+		}
+	}
+	fs.recovery = routing.MustBuild(fs.portMaps())
+}
+
+// portMaps derives per-slice port maps of the surviving topology.
+func (fs *FailureState) portMaps() []routing.PortMap {
+	topo := fs.net.topo
+	maps := routing.OperaPortMaps(topo)
+	for s := range maps {
+		for rack := range maps[s] {
+			for sw := range maps[s][rack] {
+				peer := maps[s][rack][sw]
+				if peer < 0 {
+					continue
+				}
+				if !fs.LinkUp(rack, sw) || !fs.LinkUp(int(peer), sw) {
+					maps[s][rack][sw] = -1
+				}
+			}
+		}
+	}
+	return maps
+}
+
+// spread runs the hello-protocol epidemic for one slice boundary: the two
+// ends of every newly configured circuit exchange failure news (§3.6.2).
+func (fs *FailureState) spread(sliceInCycle int) {
+	if fs.epoch == 0 {
+		return
+	}
+	topo := fs.net.topo
+	for sw := 0; sw < topo.Uplinks(); sw++ {
+		if fs.swDown[sw] {
+			continue
+		}
+		m := topo.SwitchMatching(sw, sliceInCycle)
+		for a := 0; a < topo.NumRacks(); a++ {
+			b := m.Peer(a)
+			if b <= a {
+				continue
+			}
+			if !fs.LinkUp(a, sw) || !fs.LinkUp(b, sw) {
+				continue
+			}
+			if fs.informed[a] || fs.informed[b] {
+				fs.informed[a] = true
+				fs.informed[b] = true
+			}
+		}
+	}
+}
+
+// InformedCount returns how many surviving ToRs have learned the current
+// failure set.
+func (fs *FailureState) InformedCount() (informed, survivors int) {
+	for r, up := range fs.torDown {
+		if up {
+			continue
+		}
+		survivors++
+		if fs.informed[r] {
+			informed++
+		}
+	}
+	return informed, survivors
+}
+
+// tablesFor returns the routing tables ToR rack should use: the recovery
+// tables once informed, the original ones otherwise.
+func (fs *FailureState) tablesFor(rack int) *routing.Tables {
+	if fs.epoch > 0 && fs.informed[rack] && fs.recovery != nil {
+		return fs.recovery
+	}
+	return fs.net.tables
+}

@@ -1,0 +1,112 @@
+package sim_test
+
+import (
+	"testing"
+
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/workload"
+
+	opera "github.com/opera-net/opera"
+)
+
+// failureTestbed builds an Opera cluster via the public API so transports
+// are attached, and exposes the failure state.
+func failureTestbed(t *testing.T) (*opera.Cluster, *sim.FailureState) {
+	t.Helper()
+	cl, err := opera.NewCluster(opera.ClusterConfig{
+		Kind: opera.KindOpera, Racks: 16, HostsPerRack: 4, Uplinks: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, cl.OperaNet().Failures()
+}
+
+func TestHelloEpidemicConvergesWithinTwoCycles(t *testing.T) {
+	cl, fs := failureTestbed(t)
+	// Fail one link early on.
+	fs.FailLink(3, 2, 500*eventsim.Microsecond)
+	// Cycle time: 16 slices × 100 µs = 1.6 ms. §3.6.2: any connected ToR
+	// learns within at most two cycles.
+	cl.Run(500*eventsim.Microsecond + 2*1600*eventsim.Microsecond)
+	informed, survivors := fs.InformedCount()
+	if informed != survivors {
+		t.Fatalf("only %d/%d ToRs informed after two cycles", informed, survivors)
+	}
+}
+
+func TestFlowsSurviveLinkFailure(t *testing.T) {
+	cl, fs := failureTestbed(t)
+	fs.FailLink(0, 1, 1*eventsim.Millisecond)
+	fs.FailLink(7, 3, 1*eventsim.Millisecond)
+	n := cl.NumHosts()
+	for i := 0; i < n; i++ {
+		cl.AddFlow(workload.FlowSpec{
+			Src: i, Dst: (i + 19) % n, Bytes: 30_000,
+			Arrival: eventsim.Time(i) * 50 * eventsim.Microsecond,
+		})
+	}
+	if !cl.RunUntilDone(500 * eventsim.Millisecond) {
+		done, total := cl.Metrics().DoneCount()
+		t.Fatalf("only %d/%d flows survived link failures", done, total)
+	}
+}
+
+func TestFlowsSurviveSwitchFailure(t *testing.T) {
+	cl, fs := failureTestbed(t)
+	fs.FailSwitch(2, 2*eventsim.Millisecond)
+	n := cl.NumHosts()
+	for i := 0; i < n; i += 2 {
+		cl.AddFlow(workload.FlowSpec{Src: i, Dst: (i + 9) % n, Bytes: 15_000})
+	}
+	if !cl.RunUntilDone(500 * eventsim.Millisecond) {
+		done, total := cl.Metrics().DoneCount()
+		t.Fatalf("only %d/%d flows survived switch failure", done, total)
+	}
+	// With u=4 switches and one failed, slices where a second switch
+	// transitions leave only 2 active matchings: possibly disconnected
+	// moments, but NDP + rerouting must still deliver.
+}
+
+func TestBulkSurvivesLinkFailure(t *testing.T) {
+	cl, fs := failureTestbed(t)
+	fs.FailLink(0, 0, 500*eventsim.Microsecond)
+	fs.FailLink(0, 1, 500*eventsim.Microsecond)
+	f := cl.AddBulkFlow(workload.FlowSpec{Src: 0, Dst: 60, Bytes: 1 << 20})
+	if !cl.RunUntilDone(3000 * eventsim.Millisecond) {
+		t.Fatalf("bulk flow incomplete after failures: %d/%d (NACKs %d)",
+			f.BytesRcvd, f.Size, cl.BulkNACKCount())
+	}
+}
+
+func TestLostToDeadLinksCounted(t *testing.T) {
+	cl, fs := failureTestbed(t)
+	// Continuous traffic while a link dies: some packets in flight or
+	// routed by uninformed ToRs are lost and counted.
+	n := cl.NumHosts()
+	for i := 0; i < n; i++ {
+		cl.AddFlow(workload.FlowSpec{Src: i, Dst: (i + 31) % n, Bytes: 100_000})
+	}
+	fs.FailLink(5, 2, 300*eventsim.Microsecond)
+	fs.FailLink(9, 0, 400*eventsim.Microsecond)
+	cl.RunUntilDone(1000 * eventsim.Millisecond)
+	// The counter is advisory; it must not panic and is usually nonzero
+	// under load. Completion is the hard requirement.
+	done, total := cl.Metrics().DoneCount()
+	if done != total {
+		t.Fatalf("%d/%d flows done", done, total)
+	}
+	t.Logf("packets lost to dead links: %d", fs.LostToDeadLinks)
+}
+
+func TestLinkUpAccessors(t *testing.T) {
+	_, fs := failureTestbed(t)
+	if !fs.LinkUp(0, 0) {
+		t.Fatal("fresh network should have all links up")
+	}
+	informed, survivors := fs.InformedCount()
+	if informed != 0 || survivors != 16 {
+		t.Fatalf("initial informed=%d survivors=%d", informed, survivors)
+	}
+}

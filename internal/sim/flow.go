@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/stats"
+)
+
+// Flow is one transfer between two hosts. Transports update its progress;
+// Metrics aggregates completion times.
+type Flow struct {
+	ID      int64
+	SrcHost int32
+	DstHost int32
+	SrcRack int32
+	DstRack int32
+	Size    int64 // application bytes
+	Class   Class // LowLatency (NDP) or Bulk (RotorLB / bulk-class NDP)
+
+	Start     eventsim.Time
+	End       eventsim.Time
+	BytesRcvd int64
+	Done      bool
+
+	// Retransmits counts NDP NACK-triggered resends and RotorLB NACK
+	// requeues.
+	Retransmits int
+}
+
+// FCT returns the flow completion time, valid once Done.
+func (f *Flow) FCT() eventsim.Time { return f.End - f.Start }
+
+// Metrics aggregates simulation-wide observations. The simulator is
+// single-threaded, so no locking is needed.
+type Metrics struct {
+	flows []*Flow
+
+	// DeliveredBytes tracks application bytes arriving at receivers over
+	// time (Figure 8's throughput series), binned at 1 ms.
+	DeliveredBytes *stats.TimeSeries
+
+	// UplinkBytes counts ToR-to-ToR traversals per class — the denominator
+	// of the bandwidth-tax accounting: a byte delivered over h ToR hops
+	// contributes h times here and once to goodput.
+	UplinkBytes [numClasses]uint64
+	// GoodputBytes counts inter-rack application bytes delivered, per class.
+	GoodputBytes [numClasses]uint64
+
+	// OnFlowDone, when set, is invoked as flows complete.
+	OnFlowDone func(*Flow)
+}
+
+// NewMetrics returns an empty metrics collector.
+func NewMetrics() *Metrics {
+	return &Metrics{DeliveredBytes: stats.NewTimeSeries(0.001)}
+}
+
+// AddFlow registers a flow.
+func (m *Metrics) AddFlow(f *Flow) { m.flows = append(m.flows, f) }
+
+// Flows returns all registered flows.
+func (m *Metrics) Flows() []*Flow { return m.flows }
+
+// FlowDone marks f complete at time now.
+func (m *Metrics) FlowDone(f *Flow, now eventsim.Time) {
+	if f.Done {
+		return
+	}
+	f.Done = true
+	f.End = now
+	if m.OnFlowDone != nil {
+		m.OnFlowDone(f)
+	}
+}
+
+// RecordDelivery accounts app bytes arriving at a receiver: hops is the
+// number of ToR-to-ToR traversals the bytes took (0 for rack-local).
+func (m *Metrics) RecordDelivery(f *Flow, bytes int, hops int, now eventsim.Time) {
+	f.BytesRcvd += int64(bytes)
+	m.DeliveredBytes.Record(now.Seconds(), float64(bytes))
+	if hops > 0 {
+		m.GoodputBytes[f.Class] += uint64(bytes)
+		m.UplinkBytes[f.Class] += uint64(bytes * hops)
+	}
+}
+
+// BandwidthTax returns the effective bandwidth-tax rate for a class: extra
+// in-network bytes divided by goodput ((k−1)·x per §1). Zero if no traffic.
+func (m *Metrics) BandwidthTax(c Class) float64 {
+	if m.GoodputBytes[c] == 0 {
+		return 0
+	}
+	return float64(m.UplinkBytes[c])/float64(m.GoodputBytes[c]) - 1
+}
+
+// AggregateTax returns the tax rate across low-latency and bulk classes.
+func (m *Metrics) AggregateTax() float64 {
+	good := m.GoodputBytes[ClassLowLatency] + m.GoodputBytes[ClassBulk]
+	up := m.UplinkBytes[ClassLowLatency] + m.UplinkBytes[ClassBulk]
+	if good == 0 {
+		return 0
+	}
+	return float64(up)/float64(good) - 1
+}
+
+// FCTSample collects completion times (in µs) of done flows matching the
+// filter (nil = all).
+func (m *Metrics) FCTSample(filter func(*Flow) bool) *stats.Sample {
+	var s stats.Sample
+	for _, f := range m.flows {
+		if !f.Done {
+			continue
+		}
+		if filter == nil || filter(f) {
+			s.Add(f.FCT().Micros())
+		}
+	}
+	return &s
+}
+
+// DoneCount returns completed and total flow counts.
+func (m *Metrics) DoneCount() (done, total int) {
+	for _, f := range m.flows {
+		if f.Done {
+			done++
+		}
+	}
+	return done, len(m.flows)
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFCTSampleFilter(t *testing.T) {
+	m := NewMetrics()
+	a := &Flow{ID: 1, Size: 100, Class: ClassLowLatency, Start: 0}
+	b := &Flow{ID: 2, Size: 100, Class: ClassBulk, Start: 0}
+	m.AddFlow(a)
+	m.AddFlow(b)
+	m.FlowDone(a, 1000)
+	m.FlowDone(b, 2000)
+	ll := m.FCTSample(func(f *Flow) bool { return f.Class == ClassLowLatency })
+	if ll.N() != 1 || ll.Mean() != 1.0 {
+		t.Fatalf("LL sample: n=%d mean=%v", ll.N(), ll.Mean())
+	}
+	all := m.FCTSample(nil)
+	if all.N() != 2 {
+		t.Fatalf("all sample n=%d", all.N())
+	}
+}
+
+func TestBandwidthTaxZeroWhenIdle(t *testing.T) {
+	m := NewMetrics()
+	if m.BandwidthTax(ClassBulk) != 0 || m.AggregateTax() != 0 {
+		t.Fatal("idle metrics should have zero tax")
+	}
+}
+
+func TestOnFlowDoneCallback(t *testing.T) {
+	m := NewMetrics()
+	var called int
+	m.OnFlowDone = func(f *Flow) { called++ }
+	f := &Flow{ID: 1}
+	m.AddFlow(f)
+	m.FlowDone(f, 10)
+	m.FlowDone(f, 20) // idempotent: no second call
+	if called != 1 {
+		t.Fatalf("callback fired %d times", called)
+	}
+}
+
+// Property: tax is (sum hops·bytes / sum bytes) − 1 for arbitrary delivery
+// patterns, and never negative.
+func TestTaxProperty(t *testing.T) {
+	f := func(hops []uint8) bool {
+		m := NewMetrics()
+		fl := &Flow{ID: 1, Size: 1 << 40, Class: ClassBulk}
+		m.AddFlow(fl)
+		var up, good float64
+		for _, h := range hops {
+			hh := int(h%6) + 1
+			m.RecordDelivery(fl, 1000, hh, 0)
+			up += 1000 * float64(hh)
+			good += 1000
+		}
+		if good == 0 {
+			return m.BandwidthTax(ClassBulk) == 0
+		}
+		want := up/good - 1
+		got := m.BandwidthTax(ClassBulk)
+		return math.Abs(got-want) < 1e-9 && got >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRackLocalDeliveryNotTaxed(t *testing.T) {
+	m := NewMetrics()
+	fl := &Flow{ID: 1, Size: 1000, Class: ClassLowLatency}
+	m.AddFlow(fl)
+	m.RecordDelivery(fl, 1000, 0, 0) // zero hops: rack-local
+	if m.GoodputBytes[ClassLowLatency] != 0 {
+		t.Fatal("rack-local bytes should not count toward fabric goodput")
+	}
+	if fl.BytesRcvd != 1000 {
+		t.Fatal("delivery bytes must still accrue to the flow")
+	}
+}

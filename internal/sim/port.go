@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/stats"
+)
+
+// Node is anything that can receive packets: hosts and switches.
+type Node interface {
+	// Receive handles a packet arriving from the given port's link.
+	Receive(p *Packet, from *Port)
+}
+
+// pktFIFO is a simple ring-buffer packet queue.
+type pktFIFO struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (q *pktFIFO) push(p *Packet) {
+	if q.n == len(q.buf) {
+		grow := make([]*Packet, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grow[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grow
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *pktFIFO) pop() *Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
+func (q *pktFIFO) len() int { return q.n }
+
+// drain empties the queue, invoking fn on every packet.
+func (q *pktFIFO) drain(fn func(*Packet)) {
+	for {
+		p := q.pop()
+		if p == nil {
+			return
+		}
+		fn(p)
+	}
+}
+
+// PortStats aggregates a port's counters.
+type PortStats struct {
+	Tx       [numClasses]stats.Counter // transmitted per class
+	Trims    uint64                    // data packets cut to headers
+	HdrDrops uint64                    // header-queue overflow drops
+	BulkDrop uint64                    // bulk-queue overflow drops
+	Stale    uint64                    // packets rerouted at reconfiguration
+}
+
+// Port is an output port: three strict-priority queues (control/header,
+// low-latency data, bulk) feeding a transmitter, connected by a
+// fixed-latency link to a destination resolved at transmit time (static for
+// packet networks, matching-dependent for rotor uplinks).
+type Port struct {
+	eng  *eventsim.Engine
+	cfg  *Config
+	name string
+
+	// resolve returns the node at the far side of the link at transmit
+	// time. For static links this is constant; for a rotor-switch uplink it
+	// follows the installed matching.
+	resolve func(eventsim.Time) Node
+	prop    eventsim.Time
+
+	ctrl pktFIFO // control + trimmed headers (highest priority)
+	ll   pktFIFO // low-latency data
+	bulk pktFIFO // bulk data (lowest priority)
+
+	ctrlBytes, llBytes, bulkBytes int
+
+	busy    bool
+	enabled bool
+
+	// onBulkDrop is invoked for bulk packets dropped by overflow, gating,
+	// or reconfiguration flush; typically wired to the RotorLB NACK path
+	// (§4.2.2). If nil the packet is counted and released.
+	onBulkDrop func(*Packet)
+
+	Stats PortStats
+}
+
+// NewPort builds a port owned by eng with a static destination.
+func NewPort(eng *eventsim.Engine, cfg *Config, name string, dst Node) *Port {
+	return NewDynamicPort(eng, cfg, name, func(eventsim.Time) Node { return dst })
+}
+
+// NewDynamicPort builds a port whose destination is resolved per packet at
+// transmit-completion time (rotor circuit semantics).
+func NewDynamicPort(eng *eventsim.Engine, cfg *Config, name string, resolve func(eventsim.Time) Node) *Port {
+	return &Port{
+		eng:     eng,
+		cfg:     cfg,
+		name:    name,
+		resolve: resolve,
+		prop:    cfg.PropDelay,
+		enabled: true,
+	}
+}
+
+// Name returns the diagnostic name of the port.
+func (pt *Port) Name() string { return pt.name }
+
+// SetBulkDropHandler wires the bulk-drop NACK path.
+func (pt *Port) SetBulkDropHandler(fn func(*Packet)) { pt.onBulkDrop = fn }
+
+// QueuedBytes returns the bytes currently queued in the given class queue.
+func (pt *Port) QueuedBytes(c Class) int {
+	switch c {
+	case ClassControl:
+		return pt.ctrlBytes
+	case ClassLowLatency:
+		return pt.llBytes
+	default:
+		return pt.bulkBytes
+	}
+}
+
+// Enabled reports whether the transmitter is running.
+func (pt *Port) Enabled() bool { return pt.enabled }
+
+// Enqueue admits a packet to the appropriate queue, applying NDP trimming
+// and bulk drop policy, and kicks the transmitter.
+func (pt *Port) Enqueue(p *Packet) {
+	p.EnqueuedAt = pt.eng.Now()
+	switch {
+	case p.IsControl():
+		if pt.ctrlBytes+int(p.Size) > pt.cfg.HeaderQueueBytes {
+			pt.Stats.HdrDrops++
+			p.Release()
+			return
+		}
+		pt.ctrl.push(p)
+		pt.ctrlBytes += int(p.Size)
+	case p.Kind == KindBulk:
+		if pt.bulkBytes+int(p.Size) > pt.cfg.BulkQueueBytes {
+			pt.dropBulk(p)
+			return
+		}
+		pt.bulk.push(p)
+		pt.bulkBytes += int(p.Size)
+	default: // NDP data
+		if p.Class == ClassBulk {
+			// Bulk-class NDP data (static networks' large flows): rides the
+			// bulk queue but is trimmed, not dropped, on overflow.
+			if pt.bulkBytes+int(p.Size) > pt.cfg.BulkQueueBytes {
+				pt.trim(p)
+				return
+			}
+			pt.bulk.push(p)
+			pt.bulkBytes += int(p.Size)
+		} else {
+			if pt.llBytes+int(p.Size) > pt.cfg.DataQueueBytes {
+				pt.trim(p)
+				return
+			}
+			pt.ll.push(p)
+			pt.llBytes += int(p.Size)
+		}
+	}
+	pt.maybeTransmit()
+}
+
+// trim converts a data packet to a header and re-admits it at control
+// priority (NDP packet trimming).
+func (pt *Port) trim(p *Packet) {
+	pt.Stats.Trims++
+	p.Trimmed = true
+	p.Size = int32(pt.cfg.HeaderBytes)
+	if pt.ctrlBytes+int(p.Size) > pt.cfg.HeaderQueueBytes {
+		pt.Stats.HdrDrops++
+		p.Release()
+		return
+	}
+	pt.ctrl.push(p)
+	pt.ctrlBytes += int(p.Size)
+}
+
+func (pt *Port) dropBulk(p *Packet) {
+	pt.Stats.BulkDrop++
+	if pt.onBulkDrop != nil {
+		pt.onBulkDrop(p)
+		return
+	}
+	p.Release()
+}
+
+// SetEnabled gates the transmitter (rotor reconfiguration blackout). While
+// disabled, arrivals still queue. Re-enabling kicks the transmitter.
+func (pt *Port) SetEnabled(on bool) {
+	pt.enabled = on
+	if on {
+		pt.maybeTransmit()
+	}
+}
+
+// FlushForReconfig empties the port for a circuit change: bulk packets take
+// the drop/NACK path (they were admitted against a circuit that no longer
+// exists, §4.2.2); control and low-latency packets are handed to requeue
+// for re-routing under the new configuration (stale-packet recovery).
+func (pt *Port) FlushForReconfig(requeue func(*Packet)) {
+	pt.bulk.drain(func(p *Packet) {
+		pt.bulkBytes -= int(p.Size)
+		pt.dropBulk(p)
+	})
+	pt.ctrl.drain(func(p *Packet) {
+		pt.ctrlBytes -= int(p.Size)
+		pt.Stats.Stale++
+		requeue(p)
+	})
+	pt.ll.drain(func(p *Packet) {
+		pt.llBytes -= int(p.Size)
+		pt.Stats.Stale++
+		requeue(p)
+	})
+}
+
+// pick dequeues the next packet by strict priority.
+func (pt *Port) pick() *Packet {
+	if p := pt.ctrl.pop(); p != nil {
+		pt.ctrlBytes -= int(p.Size)
+		return p
+	}
+	if p := pt.ll.pop(); p != nil {
+		pt.llBytes -= int(p.Size)
+		return p
+	}
+	if p := pt.bulk.pop(); p != nil {
+		pt.bulkBytes -= int(p.Size)
+		return p
+	}
+	return nil
+}
+
+func (pt *Port) maybeTransmit() {
+	if pt.busy || !pt.enabled {
+		return
+	}
+	p := pt.pick()
+	if p == nil {
+		return
+	}
+	pt.busy = true
+	txDone := pt.cfg.SerializationDelay(int(p.Size))
+	pt.eng.After(txDone, func() {
+		pt.Stats.Tx[p.Class].Add(int(p.Size))
+		dst := pt.resolve(pt.eng.Now())
+		if dst != nil {
+			prop := pt.prop
+			pkt := p
+			pt.eng.After(prop, func() { dst.Receive(pkt, pt) })
+		} else {
+			// Link dark (no peer): the photons are lost.
+			if p.Kind == KindBulk {
+				pt.dropBulk(p)
+			} else {
+				p.Release()
+			}
+		}
+		pt.busy = false
+		pt.maybeTransmit()
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

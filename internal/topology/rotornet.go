@@ -1,0 +1,174 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/opera-net/opera/internal/eventsim"
+)
+
+// RotorNet models the paper's RotorNet [34] baseline: the same rotor
+// circuit switches as Opera, but reconfigured *in unison* — every switch
+// swaps matchings at every slot boundary. This yields a much shorter cycle
+// (all rack pairs connect once per N/c slots instead of Opera's
+// GroupSize·N/c slices) at the cost of periodic global disruption: during
+// reconfiguration no circuits exist at all, so RotorNet cannot carry
+// low-latency traffic in-fabric and, in its hybrid form, dedicates one ToR
+// uplink to a separate packet-switched network (+33% cost, §5.1).
+type RotorNet struct {
+	NumRacks     int
+	HostsPerRack int
+	NumSwitches  int // rotor switches (u for non-hybrid, u-1 for hybrid)
+	Hybrid       bool
+	// SlotDuration is the time a set of matchings is held (dark for
+	// ReconfDelay at the end of each slot).
+	SlotDuration eventsim.Time
+	ReconfDelay  eventsim.Time
+	GuardBand    eventsim.Time
+
+	matchings []Matching // per switch: slotsPerCycle each, concatenated
+	slots     int        // slots per cycle
+}
+
+// RotorConfig parameterizes NewRotorNet.
+type RotorConfig struct {
+	NumRacks     int
+	HostsPerRack int
+	// Uplinks is the total ToR uplink count u (= k/2). Non-hybrid RotorNet
+	// attaches all u to rotor switches; hybrid attaches u-1 and reserves
+	// one for the packet-switched network.
+	Uplinks      int
+	Hybrid       bool
+	SlotDuration eventsim.Time // zero = DefaultEpsilon + DefaultReconfDelay
+	ReconfDelay  eventsim.Time // zero = DefaultReconfDelay
+	GuardBand    eventsim.Time
+	Seed         int64
+}
+
+// NewRotorNet builds a RotorNet schedule: a complete-graph factorization
+// distributed round-robin over the rotor switches so that a full cycle
+// connects every rack pair at least once. When N is not divisible by the
+// switch count, switches with fewer matchings pad their schedule by
+// repeating their first matching (a slight duty-cycle inefficiency of the
+// hybrid variant, which loses one uplink to the packet network).
+func NewRotorNet(cfg RotorConfig) (*RotorNet, error) {
+	if cfg.NumRacks <= 0 || cfg.NumRacks%2 != 0 {
+		return nil, fmt.Errorf("topology: NumRacks must be positive even, got %d", cfg.NumRacks)
+	}
+	if cfg.Uplinks < 1 {
+		return nil, fmt.Errorf("topology: Uplinks must be >= 1, got %d", cfg.Uplinks)
+	}
+	if cfg.HostsPerRack <= 0 {
+		return nil, fmt.Errorf("topology: HostsPerRack must be positive, got %d", cfg.HostsPerRack)
+	}
+	numSwitches := cfg.Uplinks
+	if cfg.Hybrid {
+		numSwitches--
+		if numSwitches < 1 {
+			return nil, fmt.Errorf("topology: hybrid RotorNet needs >= 2 uplinks")
+		}
+	}
+	if cfg.SlotDuration == 0 {
+		cfg.SlotDuration = DefaultEpsilon + DefaultReconfDelay
+	}
+	if cfg.ReconfDelay == 0 {
+		cfg.ReconfDelay = DefaultReconfDelay
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fact := FactorizeComplete(cfg.NumRacks, rng)
+	slots := (cfg.NumRacks + numSwitches - 1) / numSwitches
+	r := &RotorNet{
+		NumRacks:     cfg.NumRacks,
+		HostsPerRack: cfg.HostsPerRack,
+		NumSwitches:  numSwitches,
+		Hybrid:       cfg.Hybrid,
+		SlotDuration: cfg.SlotDuration,
+		ReconfDelay:  cfg.ReconfDelay,
+		GuardBand:    cfg.GuardBand,
+		slots:        slots,
+	}
+	r.matchings = make([]Matching, numSwitches*slots)
+	for sw := 0; sw < numSwitches; sw++ {
+		for slot := 0; slot < slots; slot++ {
+			idx := slot*numSwitches + sw // round-robin distribution
+			if idx < len(fact) {
+				r.matchings[sw*slots+slot] = fact[idx]
+			} else {
+				r.matchings[sw*slots+slot] = fact[sw] // pad
+			}
+		}
+	}
+	return r, nil
+}
+
+// MustNewRotorNet is NewRotorNet but panics on error.
+func MustNewRotorNet(cfg RotorConfig) *RotorNet {
+	r, err := NewRotorNet(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// SlotsPerCycle returns the number of slots after which the schedule
+// repeats (every rack pair has been directly connected at least once).
+func (r *RotorNet) SlotsPerCycle() int { return r.slots }
+
+// CycleTime returns SlotsPerCycle × SlotDuration. For the paper's 108-rack
+// non-hybrid network: 18 slots × 100 µs = 1.8 ms.
+func (r *RotorNet) CycleTime() eventsim.Time {
+	return eventsim.Time(r.slots) * r.SlotDuration
+}
+
+// SlotAt maps a time to (slot in cycle, absolute slot, offset).
+func (r *RotorNet) SlotAt(t eventsim.Time) (slotInCycle int, absSlot int64, offset eventsim.Time) {
+	abs := int64(t / r.SlotDuration)
+	return int(abs % int64(r.slots)), abs, t % r.SlotDuration
+}
+
+// SwitchMatching returns the matching installed on switch sw during slot s.
+func (r *RotorNet) SwitchMatching(sw, slot int) Matching {
+	s := slot % r.slots
+	if s < 0 {
+		s += r.slots
+	}
+	return r.matchings[sw*r.slots+s]
+}
+
+// DirectSwitch returns a switch directly connecting racks a and b during
+// slot s, or -1.
+func (r *RotorNet) DirectSwitch(slot, a, b int) int {
+	if a == b {
+		return -1
+	}
+	for sw := 0; sw < r.NumSwitches; sw++ {
+		if r.SwitchMatching(sw, slot).Peer(a) == b {
+			return sw
+		}
+	}
+	return -1
+}
+
+// BulkWindow returns the usable transmission window within a slot: all
+// switches are dark for the final ReconfDelay of every slot (unison
+// reconfiguration), plus guard bands.
+func (r *RotorNet) BulkWindow() (start, end eventsim.Time) {
+	start = r.GuardBand
+	end = r.SlotDuration - r.ReconfDelay - r.GuardBand
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// DutyCycle returns the fraction of time circuits carry traffic.
+func (r *RotorNet) DutyCycle() float64 {
+	s, e := r.BulkWindow()
+	return float64(e-s) / float64(r.SlotDuration)
+}
+
+// NumHosts returns the total host count.
+func (r *RotorNet) NumHosts() int { return r.NumRacks * r.HostsPerRack }
+
+// HostRack returns the rack of host h.
+func (r *RotorNet) HostRack(h int) int { return h / r.HostsPerRack }

@@ -1,0 +1,165 @@
+// Package trace provides lightweight simulation telemetry: periodic
+// sampling of port queue depths and utilization, and an append-only flow
+// event log. The htsim lineage of this simulator exposes equivalent
+// loggers; experiments use these to diagnose where queueing happens (e.g.
+// confirming that Opera's low-latency queues stay within the 12 KB bound
+// that ε is sized against, §4.1).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/stats"
+)
+
+// PortProbe samples one port's queue depths on a fixed period.
+type PortProbe struct {
+	Name string
+
+	Ctrl stats.Sample // bytes observed in the control/header queue
+	LL   stats.Sample // bytes in the low-latency data queue
+	Bulk stats.Sample // bytes in the bulk queue
+
+	port *sim.Port
+}
+
+// Sampler drives a set of PortProbes from the simulation clock.
+type Sampler struct {
+	eng     *eventsim.Engine
+	period  eventsim.Time
+	probes  []*PortProbe
+	stopped bool
+}
+
+// NewSampler creates a sampler with the given sampling period.
+func NewSampler(eng *eventsim.Engine, period eventsim.Time) *Sampler {
+	if period <= 0 {
+		panic("trace: non-positive sampling period")
+	}
+	return &Sampler{eng: eng, period: period}
+}
+
+// Watch registers a port for sampling.
+func (s *Sampler) Watch(name string, p *sim.Port) *PortProbe {
+	probe := &PortProbe{Name: name, port: p}
+	s.probes = append(s.probes, probe)
+	return probe
+}
+
+// Start begins periodic sampling; call after registering probes.
+func (s *Sampler) Start() {
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		for _, pr := range s.probes {
+			pr.Ctrl.Add(float64(pr.port.QueuedBytes(sim.ClassControl)))
+			pr.LL.Add(float64(pr.port.QueuedBytes(sim.ClassLowLatency)))
+			pr.Bulk.Add(float64(pr.port.QueuedBytes(sim.ClassBulk)))
+		}
+		s.eng.After(s.period, tick)
+	}
+	s.eng.After(s.period, tick)
+}
+
+// Stop ends sampling after the current tick.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// Probes returns the registered probes.
+func (s *Sampler) Probes() []*PortProbe { return s.probes }
+
+// Report renders a per-port queue-depth summary sorted by peak LL depth.
+func (s *Sampler) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %12s %12s %12s\n",
+		"port", "ll-mean(B)", "ll-max(B)", "bulk-max(B)", "ctrl-max(B)")
+	probes := append([]*PortProbe(nil), s.probes...)
+	sort.Slice(probes, func(i, j int) bool { return probes[i].LL.Max() > probes[j].LL.Max() })
+	for _, pr := range probes {
+		if pr.LL.N() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %12.0f %12.0f %12.0f %12.0f\n",
+			pr.Name, pr.LL.Mean(), pr.LL.Max(), pr.Bulk.Max(), pr.Ctrl.Max())
+	}
+	return b.String()
+}
+
+// FlowEvent is one entry in a flow event log.
+type FlowEvent struct {
+	At    eventsim.Time
+	Flow  int64
+	What  string // "start", "done", "retransmit", ...
+	Extra int64
+}
+
+// FlowLog is an append-only in-memory event log with O(1) append.
+type FlowLog struct {
+	events []FlowEvent
+	limit  int
+}
+
+// NewFlowLog creates a log bounded to limit events (0 = unbounded).
+func NewFlowLog(limit int) *FlowLog {
+	return &FlowLog{limit: limit}
+}
+
+// Add appends an event unless the bound is reached.
+func (l *FlowLog) Add(at eventsim.Time, flow int64, what string, extra int64) {
+	if l.limit > 0 && len(l.events) >= l.limit {
+		return
+	}
+	l.events = append(l.events, FlowEvent{At: at, Flow: flow, What: what, Extra: extra})
+}
+
+// Events returns the recorded events.
+func (l *FlowLog) Events() []FlowEvent { return l.events }
+
+// Filter returns events matching the predicate.
+func (l *FlowLog) Filter(pred func(FlowEvent) bool) []FlowEvent {
+	var out []FlowEvent
+	for _, e := range l.events {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AttachFlowLifecycle wires a metrics collector's completion callback into
+// the log, chaining any existing callback.
+func AttachFlowLifecycle(m *sim.Metrics, l *FlowLog) {
+	prev := m.OnFlowDone
+	m.OnFlowDone = func(f *sim.Flow) {
+		l.Add(f.End, f.ID, "done", f.Size)
+		if prev != nil {
+			prev(f)
+		}
+	}
+}
+
+// UtilizationReport summarizes transmitted bytes per class for a set of
+// named ports over an interval, as fractions of link capacity.
+func UtilizationReport(ports map[string]*sim.Port, interval eventsim.Time, rateGbps float64) string {
+	capacity := float64(interval) * rateGbps / 8 // bytes over the interval
+	names := make([]string, 0, len(ports))
+	for n := range ports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s\n", "port", "ctrl", "lowlat", "bulk")
+	for _, n := range names {
+		st := ports[n].Stats
+		fmt.Fprintf(&b, "%-24s %9.1f%% %9.1f%% %9.1f%%\n", n,
+			100*float64(st.Tx[sim.ClassControl].Bytes)/capacity,
+			100*float64(st.Tx[sim.ClassLowLatency].Bytes)/capacity,
+			100*float64(st.Tx[sim.ClassBulk].Bytes)/capacity)
+	}
+	return b.String()
+}

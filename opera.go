@@ -1,0 +1,381 @@
+// Package opera is a from-scratch Go implementation of Opera, the
+// datacenter network architecture of Mellette et al., "Expanding across
+// time to deliver bandwidth efficiency and low latency" (NSDI 2020),
+// together with every substrate its evaluation depends on: an
+// htsim-style packet-level simulator, the NDP and RotorLB transports, the
+// static expander / folded-Clos / RotorNet baselines, the cost
+// normalization model, and the failure and spectral analyses.
+//
+// The central abstraction is the Cluster: a simulated datacenter of a
+// chosen architecture, to which workloads are submitted as flow lists. A
+// minimal experiment looks like:
+//
+//	cl, err := opera.NewCluster(opera.ClusterConfig{
+//		Kind:  opera.KindOpera,
+//		Racks: 16, HostsPerRack: 4, Uplinks: 4,
+//	})
+//	if err != nil { ... }
+//	cl.AddFlows(workload.Shuffle(cl.NumHosts(), 100_000, 0, 1))
+//	cl.RunUntilDone(eventsim.Time(5 * eventsim.Millisecond))
+//	fct := cl.Metrics().FCTSample(nil)
+//
+// Flows smaller than BulkThreshold (default 15 MB, §4.1) are treated as
+// latency-sensitive and ride NDP over the current expander slice; larger
+// flows wait at hosts and ride RotorLB over direct circuits. Baselines use
+// the transports the paper gives them: NDP everywhere for the static
+// networks, RotorLB (plus NDP over the hybrid packet fabric) for RotorNet.
+package opera
+
+import (
+	"fmt"
+
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/ndp"
+	"github.com/opera-net/opera/internal/rotorlb"
+	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/topology"
+	"github.com/opera-net/opera/internal/workload"
+)
+
+// Kind selects a network architecture.
+type Kind int
+
+// Supported architectures (§5's comparison set).
+const (
+	// KindOpera is the paper's contribution: rotor circuit switches with
+	// staggered reconfiguration forming time-varying expanders.
+	KindOpera Kind = iota
+	// KindExpander is the cost-equivalent static expander (u = 7 flavor).
+	KindExpander
+	// KindFoldedClos is the 3:1-oversubscribed three-tier folded Clos.
+	KindFoldedClos
+	// KindRotorNet is non-hybrid RotorNet: all uplinks on synchronized
+	// rotor switches, no packet fabric (bulk-only connectivity).
+	KindRotorNet
+	// KindRotorNetHybrid diverts one uplink to an always-on packet fabric
+	// for low-latency traffic (+33% cost in the paper's accounting).
+	KindRotorNetHybrid
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindOpera:
+		return "opera"
+	case KindExpander:
+		return "expander"
+	case KindFoldedClos:
+		return "foldedclos"
+	case KindRotorNet:
+		return "rotornet"
+	case KindRotorNetHybrid:
+		return "rotornet-hybrid"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// DefaultBulkThreshold is the flow-size boundary between latency-sensitive
+// and bulk service (§4.1: flows ≥ 15 MB can amortize waiting for direct
+// circuits).
+const DefaultBulkThreshold = 15_000_000
+
+// ClusterConfig assembles a simulated datacenter.
+type ClusterConfig struct {
+	Kind Kind
+
+	// Racks, HostsPerRack and Uplinks size Opera/RotorNet/expander
+	// networks. For KindExpander, Uplinks is the fabric degree u and
+	// HostsPerRack is d. For KindFoldedClos, ClosK and ClosF are used
+	// instead.
+	Racks        int
+	HostsPerRack int
+	Uplinks      int
+
+	// ClosK and ClosF size the folded Clos (radix, oversubscription).
+	ClosK, ClosF int
+
+	// BulkThreshold classifies flows; zero means DefaultBulkThreshold.
+	// Flows at or above it are bulk (§4.1).
+	BulkThreshold int64
+
+	// AppTaggedBulk forces every flow to bulk service regardless of size
+	// (§5.2's application-tagged shuffle).
+	AppTaggedBulk bool
+
+	// Sim, NDP and RotorLB override protocol parameters when non-nil.
+	Sim     *sim.Config
+	NDP     *ndp.Params
+	RotorLB *rotorlb.Params
+
+	// MaxSliceDiameter bounds Opera slice diameters at build time (0 = no
+	// bound; 5 reproduces the paper's ε sizing).
+	MaxSliceDiameter int
+
+	Seed int64
+}
+
+// Cluster is a simulated datacenter network plus attached transports.
+type Cluster struct {
+	cfg      ClusterConfig
+	eng      *eventsim.Engine
+	metrics  *sim.Metrics
+	hosts    []*sim.Host
+	registry map[int64]*sim.Flow
+	nextID   int64
+
+	eps []*ndp.Endpoint
+	lb  *rotorlb.LB
+
+	operaNet    *sim.OperaNet
+	expanderNet *sim.ExpanderNet
+	closNet     *sim.ClosNet
+	rotorNet    *sim.RotorNetSim
+
+	hostsPerRack int
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.BulkThreshold == 0 {
+		cfg.BulkThreshold = DefaultBulkThreshold
+	}
+	simCfg := sim.DefaultConfig()
+	if cfg.Sim != nil {
+		simCfg = *cfg.Sim
+	}
+	ndpParams := ndp.DefaultParams()
+	if cfg.NDP != nil {
+		ndpParams = *cfg.NDP
+	}
+	lbParams := rotorlb.DefaultParams()
+	if cfg.RotorLB != nil {
+		lbParams = *cfg.RotorLB
+	}
+
+	c := &Cluster{
+		cfg:      cfg,
+		eng:      eventsim.New(),
+		registry: make(map[int64]*sim.Flow),
+	}
+
+	switch cfg.Kind {
+	case KindOpera:
+		topo, err := topology.NewOpera(topology.Config{
+			NumRacks:     cfg.Racks,
+			HostsPerRack: cfg.HostsPerRack,
+			NumSwitches:  cfg.Uplinks,
+			Seed:         cfg.Seed,
+			MaxDiameter:  cfg.MaxSliceDiameter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.operaNet = sim.NewOperaNet(c.eng, simCfg, topo, cfg.Seed+1)
+		c.metrics = c.operaNet.Metrics()
+		c.hosts = c.operaNet.Hosts()
+		c.lb = rotorlb.Attach(c.operaNet, lbParams, c.registry)
+		c.eps = ndp.Attach(c.hosts, c.metrics, ndpParams, c.registry)
+		c.operaNet.Start()
+		c.hostsPerRack = cfg.HostsPerRack
+
+	case KindExpander:
+		topo, err := topology.NewExpander(cfg.Racks, cfg.HostsPerRack, cfg.Uplinks, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c.expanderNet = sim.NewExpanderNet(c.eng, simCfg, topo, cfg.Seed+1)
+		c.metrics = c.expanderNet.Metrics()
+		c.hosts = c.expanderNet.Hosts()
+		c.eps = ndp.Attach(c.hosts, c.metrics, ndpParams, c.registry)
+		c.hostsPerRack = cfg.HostsPerRack
+
+	case KindFoldedClos:
+		topo, err := topology.NewFoldedClos(cfg.ClosK, cfg.ClosF)
+		if err != nil {
+			return nil, err
+		}
+		c.closNet = sim.NewClosNet(c.eng, simCfg, topo, cfg.Seed+1)
+		c.metrics = c.closNet.Metrics()
+		c.hosts = c.closNet.Hosts()
+		c.eps = ndp.Attach(c.hosts, c.metrics, ndpParams, c.registry)
+		c.hostsPerRack = topo.HostsPerToR
+
+	case KindRotorNet, KindRotorNetHybrid:
+		topo, err := topology.NewRotorNet(topology.RotorConfig{
+			NumRacks:     cfg.Racks,
+			HostsPerRack: cfg.HostsPerRack,
+			Uplinks:      cfg.Uplinks,
+			Hybrid:       cfg.Kind == KindRotorNetHybrid,
+			Seed:         cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.rotorNet = sim.NewRotorNetSim(c.eng, simCfg, topo)
+		c.metrics = c.rotorNet.Metrics()
+		c.hosts = c.rotorNet.Hosts()
+		c.lb = rotorlb.Attach(c.rotorNet, lbParams, c.registry)
+		if cfg.Kind == KindRotorNetHybrid {
+			c.eps = ndp.Attach(c.hosts, c.metrics, ndpParams, c.registry)
+		}
+		c.rotorNet.Start()
+		c.hostsPerRack = cfg.HostsPerRack
+
+	default:
+		return nil, fmt.Errorf("opera: unknown network kind %v", cfg.Kind)
+	}
+	return c, nil
+}
+
+// Engine exposes the simulation engine (for custom event scheduling).
+func (c *Cluster) Engine() *eventsim.Engine { return c.eng }
+
+// Metrics exposes flow and throughput accounting.
+func (c *Cluster) Metrics() *sim.Metrics { return c.metrics }
+
+// NumHosts returns the host count.
+func (c *Cluster) NumHosts() int { return len(c.hosts) }
+
+// HostsPerRack returns hosts per rack (ToR).
+func (c *Cluster) HostsPerRack() int { return c.hostsPerRack }
+
+// HostRack returns the rack of a host.
+func (c *Cluster) HostRack(h int) int { return h / c.hostsPerRack }
+
+// Kind returns the cluster's architecture.
+func (c *Cluster) Kind() Kind { return c.cfg.Kind }
+
+// OperaNet exposes the underlying Opera fabric (nil for other kinds), for
+// failure injection and slice-level instrumentation.
+func (c *Cluster) OperaNet() *sim.OperaNet { return c.operaNet }
+
+// BulkNACKCount reports §4.2.2 NACK retransmissions observed (circuit
+// networks only).
+func (c *Cluster) BulkNACKCount() uint64 {
+	if c.lb == nil {
+		return 0
+	}
+	return c.lb.NACKs
+}
+
+// classify picks the service class for a flow of the given size.
+func (c *Cluster) classify(bytes int64) sim.Class {
+	if c.cfg.AppTaggedBulk {
+		return sim.ClassBulk
+	}
+	if bytes >= c.cfg.BulkThreshold {
+		return sim.ClassBulk
+	}
+	return sim.ClassLowLatency
+}
+
+// AddFlow registers and schedules a single flow; it starts at spec.Arrival
+// (virtual time, which must not be in the past).
+func (c *Cluster) AddFlow(spec workload.FlowSpec) *sim.Flow {
+	c.nextID++
+	f := &sim.Flow{
+		ID:      c.nextID,
+		SrcHost: int32(spec.Src),
+		DstHost: int32(spec.Dst),
+		SrcRack: int32(c.HostRack(spec.Src)),
+		DstRack: int32(c.HostRack(spec.Dst)),
+		Size:    spec.Bytes,
+		Class:   c.classify(spec.Bytes),
+		Start:   spec.Arrival,
+	}
+	c.registry[f.ID] = f
+	c.metrics.AddFlow(f)
+	start := func() { c.startFlow(f) }
+	if spec.Arrival <= c.eng.Now() {
+		start()
+	} else {
+		c.eng.At(spec.Arrival, start)
+	}
+	return f
+}
+
+// AddFlows schedules a batch of flows.
+func (c *Cluster) AddFlows(specs []workload.FlowSpec) {
+	for _, s := range specs {
+		c.AddFlow(s)
+	}
+}
+
+// AddBulkFlow schedules a flow that is application-tagged as bulk
+// regardless of its size (§3.4's application-based tagging).
+func (c *Cluster) AddBulkFlow(spec workload.FlowSpec) *sim.Flow {
+	c.nextID++
+	f := &sim.Flow{
+		ID:      c.nextID,
+		SrcHost: int32(spec.Src),
+		DstHost: int32(spec.Dst),
+		SrcRack: int32(c.HostRack(spec.Src)),
+		DstRack: int32(c.HostRack(spec.Dst)),
+		Size:    spec.Bytes,
+		Class:   sim.ClassBulk,
+		Start:   spec.Arrival,
+	}
+	c.registry[f.ID] = f
+	c.metrics.AddFlow(f)
+	start := func() { c.startFlow(f) }
+	if spec.Arrival <= c.eng.Now() {
+		start()
+	} else {
+		c.eng.At(spec.Arrival, start)
+	}
+	return f
+}
+
+// startFlow hands the flow to the right transport for this architecture.
+func (c *Cluster) startFlow(f *sim.Flow) {
+	switch c.cfg.Kind {
+	case KindOpera:
+		if f.Class == sim.ClassBulk {
+			c.lb.StartFlow(f)
+		} else {
+			c.eps[f.SrcHost].StartFlow(f)
+		}
+	case KindExpander, KindFoldedClos:
+		// Static networks carry everything over NDP; Class drives only
+		// priority queueing (§5's "ideal priority queuing").
+		c.eps[f.SrcHost].StartFlow(f)
+	case KindRotorNet:
+		// No packet fabric: everything waits for circuits.
+		f.Class = sim.ClassBulk
+		c.lb.StartFlow(f)
+	case KindRotorNetHybrid:
+		if f.Class == sim.ClassBulk {
+			c.lb.StartFlow(f)
+		} else {
+			c.eps[f.SrcHost].StartFlow(f)
+		}
+	}
+}
+
+// Run advances the simulation to the given absolute virtual time.
+func (c *Cluster) Run(until eventsim.Time) { c.eng.RunUntil(until) }
+
+// RunUntilDone advances until every registered flow completes or the
+// deadline passes, checking at 100 µs granularity. It reports completion.
+func (c *Cluster) RunUntilDone(deadline eventsim.Time) bool {
+	const step = 100 * eventsim.Microsecond
+	for c.eng.Now() < deadline {
+		c.eng.RunUntil(c.eng.Now() + step)
+		done, total := c.metrics.DoneCount()
+		if done == total {
+			return true
+		}
+	}
+	done, total := c.metrics.DoneCount()
+	return done == total
+}
+
+// Stop halts circuit clocks so a finished simulation can drain.
+func (c *Cluster) Stop() {
+	if c.operaNet != nil {
+		c.operaNet.Stop()
+	}
+	if c.rotorNet != nil {
+		c.rotorNet.Stop()
+	}
+}
