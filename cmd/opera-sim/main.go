@@ -17,8 +17,8 @@ import (
 
 	opera "github.com/opera-net/opera"
 	"github.com/opera-net/opera/internal/eventsim"
-	"github.com/opera-net/opera/internal/sim"
 	"github.com/opera-net/opera/internal/workload"
+	"github.com/opera-net/opera/scenario"
 )
 
 func main() {
@@ -37,103 +37,79 @@ func main() {
 	drain := flag.Int("drain", 50, "drain deadline as a multiple of -duration")
 	flag.Parse()
 
-	var kind opera.Kind
-	switch *network {
-	case "opera":
-		kind = opera.KindOpera
-	case "expander":
-		kind = opera.KindExpander
-	case "foldedclos":
-		kind = opera.KindFoldedClos
-	case "rotornet":
-		kind = opera.KindRotorNet
-	case "rotornet-hybrid":
-		kind = opera.KindRotorNetHybrid
-	default:
-		fmt.Fprintf(os.Stderr, "unknown network %q\n", *network)
+	kind, err := opera.ParseKind(*network)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	cl, err := opera.NewCluster(opera.ClusterConfig{
-		Kind:         kind,
-		Racks:        *racks,
-		HostsPerRack: *hostsPerRack,
-		Uplinks:      *uplinks,
-		ClosK:        *closK,
-		ClosF:        *closF,
-		// §5.6's throughput patterns are bulk workloads: application-tag
-		// them so Opera serves them on direct circuits regardless of size.
-		AppTaggedBulk: *wl == "shuffle" || *wl == "hotrack" || *wl == "permutation",
-		Seed:          *seed,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
 	dur := eventsim.Time(duration.Nanoseconds())
-	var flows []workload.FlowSpec
+	var gen scenario.Workload
 	switch *wl {
-	case "datamining", "websearch", "hadoop":
-		var dist *workload.FlowSizeDist
-		switch *wl {
-		case "datamining":
-			dist = workload.Datamining()
-		case "websearch":
-			dist = workload.Websearch()
-		default:
-			dist = workload.Hadoop()
-		}
-		flows = workload.Poisson(workload.PoissonConfig{
-			NumHosts:     cl.NumHosts(),
-			HostsPerRack: cl.HostsPerRack(),
-			Load:         *load,
-			LinkRateGbps: 10,
-			Duration:     dur,
-			Dist:         dist,
-			Seed:         *seed,
-		})
-		if *maxFlow > 0 {
-			for i := range flows {
-				if flows[i].Bytes > *maxFlow {
-					flows[i].Bytes = *maxFlow
-				}
-			}
-		}
+	case "datamining":
+		gen = scenario.Poisson(workload.Datamining(), *load, dur, *maxFlow)
+	case "websearch":
+		gen = scenario.Poisson(workload.Websearch(), *load, dur, *maxFlow)
+	case "hadoop":
+		gen = scenario.Poisson(workload.Hadoop(), *load, dur, *maxFlow)
 	case "shuffle":
-		flows = workload.Shuffle(cl.NumHosts(), *flowBytes, 0, *seed)
+		gen = scenario.Shuffle(*flowBytes, 0)
 	case "permutation":
-		flows = workload.Permutation(cl.NumHosts(), cl.HostsPerRack(), *flowBytes, *seed)
+		gen = func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
+			return workload.Permutation(numHosts, hostsPerRack, *flowBytes, seed)
+		}
 	case "hotrack":
-		flows = workload.HotRack(cl.HostsPerRack(), *flowBytes)
+		gen = func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
+			return workload.HotRack(hostsPerRack, *flowBytes)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
 		os.Exit(2)
 	}
 
-	cl.AddFlows(flows)
-	start := time.Now()
-	completed := cl.RunUntilDone(dur * eventsim.Time(*drain))
-	wall := time.Since(start)
+	sc := scenario.Scenario{
+		Name: *network,
+		Kind: kind,
+		Seed: *seed,
+		Options: []opera.Option{
+			opera.WithRacks(*racks),
+			opera.WithHostsPerRack(*hostsPerRack),
+			opera.WithUplinks(*uplinks),
+			opera.WithClos(*closK, *closF),
+			// §5.6's throughput patterns are bulk workloads: application-tag
+			// them so Opera serves them on direct circuits regardless of size.
+			opera.WithAppTaggedBulk(*wl == "shuffle" || *wl == "hotrack" || *wl == "permutation"),
+		},
+		Workload: gen,
+		Duration: dur * eventsim.Time(*drain),
+	}
 
-	m := cl.Metrics()
-	done, total := m.DoneCount()
+	start := time.Now()
+	_, res := scenario.Collect(sc)
+	wall := time.Since(start)
+	if res.Err != "" {
+		fmt.Fprintln(os.Stderr, res.Err)
+		os.Exit(1)
+	}
+
 	fmt.Printf("network=%s workload=%s flows=%d completed=%d (%.1f%%) wall=%v\n",
-		kind, *wl, total, done, 100*float64(done)/float64(max(total, 1)), wall.Round(time.Millisecond))
-	if !completed {
+		kind, *wl, res.FlowsTotal, res.FlowsDone,
+		100*float64(res.FlowsDone)/float64(max(res.FlowsTotal, 1)), wall.Round(time.Millisecond))
+	if !res.Completed {
 		fmt.Printf("  (did not finish before drain deadline)\n")
 	}
-	for _, class := range []sim.Class{sim.ClassLowLatency, sim.ClassBulk} {
-		class := class
-		s := m.FCTSample(func(f *sim.Flow) bool { return f.Class == class && f.Done })
-		if s.N() == 0 {
+	for _, cs := range []struct {
+		label string
+		s     scenario.FCTStats
+	}{{"lowlat", res.LowLat}, {"bulk", res.Bulk}} {
+		if cs.s.N == 0 {
 			continue
 		}
-		fmt.Printf("  %-7s n=%-6d fct p50=%.1fµs p99=%.1fµs max=%.1fµs tax=%.1f%%\n",
-			class, s.N(), s.Median(), s.P99(), s.Max(), 100*m.BandwidthTax(class))
+		fmt.Printf("  %-7s n=%-6d fct p50=%.1fµs p99=%.1fµs max=%.1fµs\n",
+			cs.label, cs.s.N, cs.s.P50Us, cs.s.P99Us, cs.s.MaxUs)
 	}
-	fmt.Printf("  delivered=%.1f MB aggregate-tax=%.1f%% bulk-NACKs=%d sim-events=%d\n",
-		m.DeliveredBytes.Total()/1e6, 100*m.AggregateTax(), cl.BulkNACKCount(), cl.Engine().Steps())
+	fmt.Printf("  throughput=%.2f Gb/s aggregate-tax=%.1f%% bulk-NACKs=%d sim-events=%d\n",
+		res.ThroughputGbps, 100*res.AggregateTax, res.BulkNACKs, res.SimEvents)
 }
 
 func max(a, b int) int {

@@ -1,15 +1,34 @@
 package opera_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	opera "github.com/opera-net/opera"
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/workload"
+	"github.com/opera-net/opera/scenario"
 )
 
-// Building a cluster and inspecting its shape is fully deterministic.
+// Clusters are assembled from functional options over per-kind defaults;
+// building one and inspecting its shape is fully deterministic.
+func ExampleNew() {
+	cl, err := opera.New(opera.KindOpera,
+		opera.WithRacks(16),
+		opera.WithHostsPerRack(4),
+		opera.WithUplinks(4),
+		opera.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cl.Kind(), cl.NumHosts(), "hosts,", cl.HostsPerRack(), "per rack")
+	// Output: opera 64 hosts, 4 per rack
+}
+
+// The legacy config-struct constructor remains as a shim over the same
+// registry-driven builder.
 func ExampleNewCluster() {
 	cl, err := opera.NewCluster(opera.ClusterConfig{
 		Kind:         opera.KindOpera,
@@ -28,9 +47,7 @@ func ExampleNewCluster() {
 // Flows below the 15 MB threshold are latency-sensitive; larger ones are
 // bulk; application tagging overrides size.
 func ExampleCluster_AddFlow() {
-	cl, err := opera.NewCluster(opera.ClusterConfig{
-		Kind: opera.KindOpera, Racks: 16, HostsPerRack: 4, Uplinks: 4, Seed: 1,
-	})
+	cl, err := opera.New(opera.KindOpera, opera.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,4 +64,31 @@ func ExampleCluster_AddFlow() {
 	// Output:
 	// lowlat bulk bulk
 	// 3 of 3 flows complete
+}
+
+// Whole parameter sweeps fan out across goroutines through the scenario
+// runner; results are deterministic at any parallelism.
+func ExampleRunScenarios() {
+	scs := []scenario.Scenario{
+		{
+			Name: "opera", Kind: opera.KindOpera, Seed: 1,
+			Workload: scenario.ShuffleN(8, 40_000, 0),
+			Duration: 2000 * eventsim.Millisecond,
+		},
+		{
+			Name: "expander", Kind: opera.KindExpander, Seed: 1,
+			Workload: scenario.ShuffleN(8, 40_000, eventsim.Millisecond),
+			Duration: 2000 * eventsim.Millisecond,
+		},
+	}
+	results, err := scenario.RunScenarios(context.Background(), scs, scenario.Parallelism(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: %d/%d flows\n", r.Name, r.FlowsDone, r.FlowsTotal)
+	}
+	// Output:
+	// opera: 56/56 flows
+	// expander: 56/56 flows
 }

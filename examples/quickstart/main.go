@@ -18,13 +18,12 @@ func main() {
 	// A 16-rack Opera network: 4 hosts per rack, 4 rotor circuit switches.
 	// Every rack pair gets a direct circuit once per cycle; at any instant
 	// the active matchings form an expander for low-latency traffic.
-	cl, err := opera.NewCluster(opera.ClusterConfig{
-		Kind:         opera.KindOpera,
-		Racks:        16,
-		HostsPerRack: 4,
-		Uplinks:      4,
-		Seed:         1,
-	})
+	cl, err := opera.New(opera.KindOpera,
+		opera.WithRacks(16),
+		opera.WithHostsPerRack(4),
+		opera.WithUplinks(4),
+		opera.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

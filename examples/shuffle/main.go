@@ -2,61 +2,74 @@
 // across Opera and the two static baselines: Opera's application-tagged
 // bulk service carries every flow over direct circuits, avoiding the
 // bandwidth tax that throttles the expander and the capacity limit of the
-// oversubscribed folded Clos.
+// oversubscribed folded Clos. The three clusters run concurrently through
+// the scenario runner.
 //
 //	go run ./examples/shuffle
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	opera "github.com/opera-net/opera"
 	"github.com/opera-net/opera/internal/eventsim"
-	"github.com/opera-net/opera/internal/stats"
-	"github.com/opera-net/opera/internal/workload"
+	"github.com/opera-net/opera/scenario"
 )
 
 const flowBytes = 100_000 // the Facebook Hadoop median inter-rack flow
 
-func run(kind opera.Kind, appTagged bool, stagger eventsim.Time) (p99ms float64, tax float64) {
-	cl, err := opera.NewCluster(opera.ClusterConfig{
-		Kind:          kind,
-		Racks:         16,
-		HostsPerRack:  4,
-		Uplinks:       4,
-		ClosK:         8,
-		ClosF:         3,
-		AppTaggedBulk: appTagged,
-		Seed:          1,
-	})
+func main() {
+	fmt.Printf("all-to-all shuffle, %d B per flow (Figure 8 scenario)\n\n", flowBytes)
+
+	base := []opera.Option{
+		opera.WithRacks(16),
+		opera.WithHostsPerRack(4),
+		opera.WithUplinks(4),
+		opera.WithClos(8, 3),
+	}
+	scs := []scenario.Scenario{
+		// Opera: flows application-tagged as bulk, all started simultaneously
+		// (RotorLB handles simultaneous starts gracefully, §5.2).
+		{
+			Name: "opera", Kind: opera.KindOpera, Seed: 1,
+			Options:  append(append([]opera.Option{}, base...), opera.WithAppTaggedBulk(true)),
+			Workload: scenario.ShuffleN(64, flowBytes, 0),
+			Duration: 5000 * eventsim.Millisecond,
+		},
+		// Static networks get staggered arrivals to avoid startup effects,
+		// and 64 shuffle participants so the workload matches despite the
+		// Clos's larger quantized host count.
+		{
+			Name: "expander", Kind: opera.KindExpander, Seed: 1,
+			Options:  base,
+			Workload: scenario.ShuffleN(64, flowBytes, eventsim.Millisecond),
+			Duration: 5000 * eventsim.Millisecond,
+		},
+		{
+			Name: "foldedclos", Kind: opera.KindFoldedClos, Seed: 1,
+			Options:  base,
+			Workload: scenario.ShuffleN(64, flowBytes, eventsim.Millisecond),
+			Duration: 5000 * eventsim.Millisecond,
+		},
+	}
+
+	results, err := scenario.RunScenarios(context.Background(), scs, scenario.Parallelism(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cl.AddFlows(workload.Shuffle(cl.NumHosts(), flowBytes, stagger, 1))
-	if !cl.RunUntilDone(5000 * eventsim.Millisecond) {
-		done, total := cl.Metrics().DoneCount()
-		log.Fatalf("%v: only %d/%d flows completed", kind, done, total)
-	}
-	var fct stats.Sample
-	for _, f := range cl.Metrics().Flows() {
-		fct.Add(f.FCT().Seconds() * 1000)
-	}
-	return fct.P99(), cl.Metrics().AggregateTax()
-}
 
-func main() {
-	fmt.Printf("all-to-all shuffle, %d B per flow (Figure 8 scenario)\n\n", flowBytes)
 	fmt.Printf("%-12s %14s %14s\n", "network", "p99 FCT (ms)", "bandwidth tax")
-	// Opera: flows application-tagged as bulk, all started simultaneously
-	// (RotorLB handles simultaneous starts gracefully, §5.2).
-	p99, tax := run(opera.KindOpera, true, 0)
-	fmt.Printf("%-12s %14.1f %13.0f%%\n", "opera", p99, 100*tax)
-	// Static networks get staggered arrivals to avoid startup effects.
-	p99, tax = run(opera.KindExpander, false, 1*eventsim.Millisecond)
-	fmt.Printf("%-12s %14.1f %13.0f%%\n", "expander", p99, 100*tax)
-	p99, tax = run(opera.KindFoldedClos, false, 1*eventsim.Millisecond)
-	fmt.Printf("%-12s %14.1f %13.0f%%\n", "foldedclos", p99, 100*tax)
+	for _, r := range results {
+		if r.Err != "" {
+			log.Fatalf("%s: %s", r.Name, r.Err)
+		}
+		if !r.Completed {
+			log.Fatalf("%s: only %d/%d flows completed", r.Name, r.FlowsDone, r.FlowsTotal)
+		}
+		fmt.Printf("%-12s %14.1f %13.0f%%\n", r.Name, r.All.P99Us/1000, 100*r.AggregateTax)
+	}
 	fmt.Println("\nOpera's direct circuits carry shuffle with no bandwidth tax;")
 	fmt.Println("the expander pays (pathlen-1)× tax and the 3:1 Clos is capacity-bound.")
 }

@@ -3,66 +3,63 @@
 // essentially every byte is latency-sensitive and rides indirect expander
 // paths, paying the bandwidth tax on all of it. Opera tracks the static
 // networks' FCTs at low load but admits less total load — the price of
-// provisioning most capacity as time-multiplexed direct circuits.
+// provisioning most capacity as time-multiplexed direct circuits. The
+// whole (network × load) grid runs concurrently through the scenario
+// runner.
 //
 //	go run ./examples/websearch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	opera "github.com/opera-net/opera"
 	"github.com/opera-net/opera/internal/eventsim"
-	"github.com/opera-net/opera/internal/sim"
 	"github.com/opera-net/opera/internal/workload"
+	"github.com/opera-net/opera/scenario"
 )
-
-func run(kind opera.Kind, load float64) (p50, p99 float64, completed float64) {
-	cl, err := opera.NewCluster(opera.ClusterConfig{
-		Kind:         kind,
-		Racks:        16,
-		HostsPerRack: 4,
-		Uplinks:      4,
-		ClosK:        8,
-		ClosF:        3,
-		Seed:         1,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	duration := 20 * eventsim.Millisecond
-	cl.AddFlows(workload.Poisson(workload.PoissonConfig{
-		NumHosts:     cl.NumHosts(),
-		HostsPerRack: cl.HostsPerRack(),
-		Load:         load,
-		LinkRateGbps: 10,
-		Duration:     duration,
-		Dist:         workload.Websearch(),
-		Seed:         3,
-	}))
-	cl.RunUntilDone(duration * 20)
-	m := cl.Metrics()
-	s := m.FCTSample(func(f *sim.Flow) bool { return f.Done })
-	done, total := m.DoneCount()
-	return s.Median(), s.P99(), float64(done) / float64(total)
-}
 
 func main() {
 	fmt.Println("Websearch workload (all-indirect worst case, Figure 9)")
-	fmt.Printf("\n%-12s %-6s %12s %12s %10s\n", "network", "load", "p50 (µs)", "p99 (µs)", "completed")
-	for _, n := range []struct {
-		name string
-		kind opera.Kind
-	}{
-		{"opera", opera.KindOpera},
-		{"expander", opera.KindExpander},
-		{"foldedclos", opera.KindFoldedClos},
-	} {
-		for _, load := range []float64{0.01, 0.05, 0.10} {
-			p50, p99, done := run(n.kind, load)
-			fmt.Printf("%-12s %-6.2f %12.1f %12.1f %9.1f%%\n", n.name, load, p50, p99, 100*done)
+
+	kinds := []opera.Kind{opera.KindOpera, opera.KindExpander, opera.KindFoldedClos}
+	loads := []float64{0.01, 0.05, 0.10}
+	duration := 20 * eventsim.Millisecond
+
+	var scs []scenario.Scenario
+	for _, kind := range kinds {
+		for _, load := range loads {
+			scs = append(scs, scenario.Scenario{
+				Name: fmt.Sprintf("%s load %.2f", kind, load),
+				Kind: kind,
+				Seed: 3,
+				Options: []opera.Option{
+					opera.WithRacks(16),
+					opera.WithHostsPerRack(4),
+					opera.WithUplinks(4),
+					opera.WithClos(8, 3),
+					opera.WithSeed(1),
+				},
+				Workload: scenario.Poisson(workload.Websearch(), load, duration, 0),
+				Duration: duration * 20,
+			})
 		}
+	}
+	results, err := scenario.RunScenarios(context.Background(), scs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %12s %12s %10s\n", "scenario", "p50 (µs)", "p99 (µs)", "completed")
+	for _, r := range results {
+		if r.Err != "" {
+			log.Fatalf("%s: %s", r.Name, r.Err)
+		}
+		fmt.Printf("%-22s %12.1f %12.1f %9.1f%%\n",
+			r.Name, r.All.P50Us, r.All.P99Us,
+			100*float64(r.FlowsDone)/float64(r.FlowsTotal))
 	}
 	fmt.Println("\nAt these loads all three networks deliver comparable FCTs (§5.3);")
 	fmt.Println("Opera saturates first (≈10% load at paper scale) since every byte")

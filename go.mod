@@ -1,0 +1,3 @@
+module github.com/opera-net/opera
+
+go 1.24

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	operapkg "github.com/opera-net/opera"
@@ -8,6 +9,7 @@ import (
 	"github.com/opera-net/opera/internal/prototype"
 	"github.com/opera-net/opera/internal/stats"
 	"github.com/opera-net/opera/internal/workload"
+	"github.com/opera-net/opera/scenario"
 )
 
 // SimOptions controls the packet-level experiment family.
@@ -48,24 +50,26 @@ func PaperSimOptions() SimOptions {
 	}
 }
 
-// newCluster builds the cluster for a network name at the given scale.
-func newCluster(kind operapkg.Kind, s Scale, appTagged bool, seed int64) (*operapkg.Cluster, error) {
-	cfg := operapkg.ClusterConfig{
-		Kind:          kind,
-		Racks:         s.Racks,
-		HostsPerRack:  s.HostsPerRack,
-		Uplinks:       s.Uplinks,
-		ClosK:         s.ClosK,
-		ClosF:         s.ClosF,
-		AppTaggedBulk: appTagged,
-		Seed:          seed,
+// scaleOptions sizes a cluster of the given kind at scale s. Options apply
+// in order, so the expander's cost-equivalent sizing overrides the rotor
+// sizing for KindExpander.
+func scaleOptions(kind operapkg.Kind, s Scale, appTagged bool) []operapkg.Option {
+	opts := []operapkg.Option{
+		operapkg.WithRacks(s.Racks),
+		operapkg.WithHostsPerRack(s.HostsPerRack),
+		operapkg.WithUplinks(s.Uplinks),
+		operapkg.WithClos(s.ClosK, s.ClosF),
+		operapkg.WithAppTaggedBulk(appTagged),
+		operapkg.WithSeed(s.Seed),
 	}
 	if kind == operapkg.KindExpander {
-		cfg.Racks = s.ExpRacks
-		cfg.HostsPerRack = s.ExpHosts
-		cfg.Uplinks = s.ExpDegree
+		opts = append(opts,
+			operapkg.WithRacks(s.ExpRacks),
+			operapkg.WithHostsPerRack(s.ExpHosts),
+			operapkg.WithUplinks(s.ExpDegree),
+		)
 	}
-	return operapkg.NewCluster(cfg)
+	return opts
 }
 
 // fctBuckets are the flow-size decade boundaries used to report FCT vs
@@ -86,52 +90,66 @@ func bucketLabel(i int) string {
 	return names[i]
 }
 
-// runPoissonFCT drives one (network, load) cell and appends per-bucket FCT
-// rows: 99th percentile (and mean at 1% load, following the paper's
-// reporting) plus the completed fraction, which exposes saturation.
-func runPoissonFCT(t *Table, network string, kind operapkg.Kind, opt SimOptions,
-	dist *workload.FlowSizeDist, load float64) error {
+// poissonCell describes one (network, load) point of a Poisson FCT sweep.
+type poissonCell struct {
+	name string
+	kind operapkg.Kind
+	load float64
+}
 
-	cl, err := newCluster(kind, opt.Scale, false, opt.Scale.Seed)
+// runPoissonFCT fans every (network, load) cell out through the scenario
+// runner — independent clusters across all cores — then appends per-bucket
+// FCT rows in cell order: 99th percentile (and mean at 1% load, following
+// the paper's reporting) plus the completed fraction, which exposes
+// saturation.
+func runPoissonFCT(t *Table, cells []poissonCell, opt SimOptions, dist *workload.FlowSizeDist) error {
+	scs := make([]scenario.Scenario, len(cells))
+	for i, c := range cells {
+		scs[i] = scenario.Scenario{
+			Name:     c.name,
+			Kind:     c.kind,
+			Seed:     opt.Seed, // seeds the workload; cluster seed below
+			Options:  scaleOptions(c.kind, opt.Scale, false),
+			Workload: scenario.Poisson(dist, c.load, opt.Duration, opt.MaxFlowBytes),
+			Duration: opt.Duration * eventsim.Time(opt.DrainFactor),
+		}
+	}
+	// Buckets are tabulated inside the per-cluster callback (distinct
+	// per-index slots, so no locking) and each cluster is released as soon
+	// as its cell is done — a paper-scale sweep never holds more clusters
+	// than workers.
+	type cellStats struct {
+		buckets     []stats.Sample
+		done, total int
+	}
+	tallies := make([]cellStats, len(cells))
+	results, err := scenario.ForEachCluster(context.Background(), scs,
+		func(i int, cl *operapkg.Cluster, _ scenario.Result) {
+			cs := cellStats{buckets: make([]stats.Sample, len(fctBuckets))}
+			for _, f := range cl.Metrics().Flows() {
+				cs.total++
+				if !f.Done {
+					continue
+				}
+				cs.done++
+				cs.buckets[bucketOf(f.Size)].Add(f.FCT().Micros())
+			}
+			tallies[i] = cs
+		})
 	if err != nil {
 		return err
 	}
-	flows := workload.Poisson(workload.PoissonConfig{
-		NumHosts:     cl.NumHosts(),
-		HostsPerRack: cl.HostsPerRack(),
-		Load:         load,
-		LinkRateGbps: 10,
-		Duration:     opt.Duration,
-		Dist:         dist,
-		Seed:         opt.Seed,
-	})
-	if opt.MaxFlowBytes > 0 {
-		for i := range flows {
-			if flows[i].Bytes > opt.MaxFlowBytes {
-				flows[i].Bytes = opt.MaxFlowBytes
+	for i, cs := range tallies {
+		if results[i].Err != "" {
+			return fmt.Errorf("%s (load %.2f): %s", cells[i].name, cells[i].load, results[i].Err)
+		}
+		for b := range cs.buckets {
+			if cs.buckets[b].N() == 0 {
+				continue
 			}
+			t.Add(cells[i].name, cells[i].load, bucketLabel(b), cs.buckets[b].Mean(), cs.buckets[b].P99(),
+				cs.buckets[b].N(), float64(cs.done)/float64(cs.total))
 		}
-	}
-	cl.AddFlows(flows)
-	deadline := opt.Duration * eventsim.Time(opt.DrainFactor)
-	cl.RunUntilDone(deadline)
-
-	buckets := make([]stats.Sample, len(fctBuckets))
-	var done, total int
-	for _, f := range cl.Metrics().Flows() {
-		total++
-		if !f.Done {
-			continue
-		}
-		done++
-		buckets[bucketOf(f.Size)].Add(f.FCT().Micros())
-	}
-	for i := range buckets {
-		if buckets[i].N() == 0 {
-			continue
-		}
-		t.Add(network, load, bucketLabel(i), buckets[i].Mean(), buckets[i].P99(),
-			buckets[i].N(), float64(done)/float64(total))
 	}
 	return nil
 }
@@ -143,7 +161,8 @@ var fctHeader = []string{"network", "load", "flow_size", "mean_fct_us", "p99_fct
 func Fig07Datamining(opt SimOptions) ([]Table, error) {
 	t := Table{Name: fmt.Sprintf("fig07_datamining_fct_%s", opt.Scale.Name), Header: fctHeader}
 	dist := workload.Datamining()
-	nets := []struct {
+	var cells []poissonCell
+	for _, n := range []struct {
 		name string
 		kind operapkg.Kind
 	}{
@@ -152,13 +171,13 @@ func Fig07Datamining(opt SimOptions) ([]Table, error) {
 		{"foldedclos", operapkg.KindFoldedClos},
 		{"rotornet-hybrid", operapkg.KindRotorNetHybrid},
 		{"rotornet", operapkg.KindRotorNet},
-	}
-	for _, n := range nets {
+	} {
 		for _, load := range opt.Loads {
-			if err := runPoissonFCT(&t, n.name, n.kind, opt, dist, load); err != nil {
-				return nil, err
-			}
+			cells = append(cells, poissonCell{n.name, n.kind, load})
 		}
+	}
+	if err := runPoissonFCT(&t, cells, opt, dist); err != nil {
+		return nil, err
 	}
 	return []Table{t}, nil
 }
@@ -167,20 +186,21 @@ func Fig07Datamining(opt SimOptions) ([]Table, error) {
 func Fig09Websearch(opt SimOptions) ([]Table, error) {
 	t := Table{Name: fmt.Sprintf("fig09_websearch_fct_%s", opt.Scale.Name), Header: fctHeader}
 	dist := workload.Websearch()
-	nets := []struct {
+	var cells []poissonCell
+	for _, n := range []struct {
 		name string
 		kind operapkg.Kind
 	}{
 		{"opera", operapkg.KindOpera},
 		{"expander", operapkg.KindExpander},
 		{"foldedclos", operapkg.KindFoldedClos},
-	}
-	for _, n := range nets {
+	} {
 		for _, load := range opt.Loads {
-			if err := runPoissonFCT(&t, n.name, n.kind, opt, dist, load); err != nil {
-				return nil, err
-			}
+			cells = append(cells, poissonCell{n.name, n.kind, load})
 		}
+	}
+	if err := runPoissonFCT(&t, cells, opt, dist); err != nil {
+		return nil, err
 	}
 	return []Table{t}, nil
 }
@@ -231,22 +251,34 @@ func Fig08Shuffle(opt ShuffleOptions) ([]Table, error) {
 		{"expander", operapkg.KindExpander, false, opt.Stagger},
 		{"foldedclos", operapkg.KindFoldedClos, false, opt.Stagger},
 	}
-	for _, n := range nets {
-		cl, err := newCluster(n.kind, opt.Scale, n.appTagged, opt.Scale.Seed)
-		if err != nil {
-			return nil, err
+	scs := make([]scenario.Scenario, len(nets))
+	for i, n := range nets {
+		scs[i] = scenario.Scenario{
+			Name:     n.name,
+			Kind:     n.kind,
+			Seed:     opt.Seed,
+			Options:  scaleOptions(n.kind, opt.Scale, n.appTagged),
+			Workload: scenario.ShuffleN(opt.Participants, opt.FlowBytes, n.stagger),
+			Duration: opt.Deadline,
+		}
+	}
+	clusters, results, err := scenario.CollectScenarios(context.Background(), scs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cl := range clusters {
+		n := nets[i]
+		if cl == nil {
+			return nil, fmt.Errorf("%s: %s", n.name, results[i].Err)
 		}
 		participants := cl.NumHosts()
 		if opt.Participants > 0 && opt.Participants < participants {
 			participants = opt.Participants
 		}
-		cl.AddFlows(workload.Shuffle(participants, opt.FlowBytes, n.stagger, opt.Seed))
-		cl.RunUntilDone(opt.Deadline)
-
 		capacity := float64(participants) * 10e9 / 8 // bytes/s aggregate
 		rates := cl.Metrics().DeliveredBytes.Rates()
-		for i, r := range rates {
-			series.Add(n.name, float64(i)*1000*cl.Metrics().DeliveredBytes.BinWidth(), r/capacity)
+		for j, r := range rates {
+			series.Add(n.name, float64(j)*1000*cl.Metrics().DeliveredBytes.BinWidth(), r/capacity)
 		}
 		var fct stats.Sample
 		var done, total int
@@ -296,7 +328,10 @@ func Fig10Mixed(opt MixedOptions) ([]Table, error) {
 	}
 	for _, n := range nets {
 		for _, wsLoad := range opt.WebsearchLoads {
-			cl, err := newCluster(n.kind, opt.Scale, false, opt.Scale.Seed)
+			// Mixed traffic needs per-flow tagging (bulk underlay, classified
+			// websearch on top), so it drives the cluster directly rather
+			// than through the scenario runner.
+			cl, err := operapkg.New(n.kind, scaleOptions(n.kind, opt.Scale, false)...)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,27 @@
+package ndp
+
+import "github.com/opera-net/opera/internal/sim"
+
+// Fabric bundles a cluster's per-host NDP endpoints behind the single
+// flow-admission surface of sim.Transport: a started flow is handed to the
+// endpoint of its source host.
+type Fabric struct {
+	eps []*Endpoint
+}
+
+var _ sim.Transport = (*Fabric)(nil)
+
+// AttachFabric installs NDP on every host (see Attach) and returns the
+// endpoints wrapped as a Transport.
+func AttachFabric(hosts []*sim.Host, metrics *sim.Metrics, params Params, registry map[int64]*sim.Flow) *Fabric {
+	return &Fabric{eps: Attach(hosts, metrics, params, registry)}
+}
+
+// StartFlow implements sim.Transport.
+func (fb *Fabric) StartFlow(f *sim.Flow) { fb.eps[f.SrcHost].StartFlow(f) }
+
+// Endpoint returns the per-host engine of the given host.
+func (fb *Fabric) Endpoint(host int) *Endpoint { return fb.eps[host] }
+
+// Endpoints returns all endpoints, indexed by host ID.
+func (fb *Fabric) Endpoints() []*Endpoint { return fb.eps }

@@ -133,6 +133,10 @@ type LB struct {
 	NACKs uint64
 }
 
+// LB admits bulk flows directly: it is the cluster-wide Transport for the
+// bulk service class on circuit fabrics.
+var _ sim.Transport = (*LB)(nil)
+
 // Attach installs RotorLB on the network: host handlers for bulk delivery
 // and NACKs, and a slice listener that opens transmission sessions. Call
 // before installing NDP (NDP chains unknown packets back here).

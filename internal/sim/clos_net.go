@@ -23,6 +23,16 @@ type ClosNet struct {
 	metrics *Metrics
 }
 
+func init() {
+	Register("foldedclos", func(p BuildParams) (Network, error) {
+		topo, err := topology.NewFoldedClos(p.ClosK, p.ClosF)
+		if err != nil {
+			return nil, err
+		}
+		return NewClosNet(p.Engine, p.Sim, topo, p.Seed+1), nil
+	})
+}
+
 // NewClosNet wires the folded-Clos fabric.
 func NewClosNet(eng *eventsim.Engine, cfg Config, topo *topology.FoldedClos, seed int64) *ClosNet {
 	n := &ClosNet{eng: eng, cfg: &cfg, topo: topo, metrics: NewMetrics()}
@@ -91,6 +101,24 @@ func NewClosNet(eng *eventsim.Engine, cfg Config, topo *topology.FoldedClos, see
 
 // Engine returns the simulation engine.
 func (n *ClosNet) Engine() *eventsim.Engine { return n.eng }
+
+// Kind implements Network.
+func (n *ClosNet) Kind() string { return "foldedclos" }
+
+// PacketCapable implements Network: the Clos is all packet switching.
+func (n *ClosNet) PacketCapable() bool { return true }
+
+// NumRacks implements Network.
+func (n *ClosNet) NumRacks() int { return n.topo.NumToRs }
+
+// HostsPerRack implements Network.
+func (n *ClosNet) HostsPerRack() int { return n.topo.HostsPerToR }
+
+// Start implements Network; a static fabric has no circuit clock.
+func (n *ClosNet) Start() {}
+
+// Stop implements Network.
+func (n *ClosNet) Stop() {}
 
 // Config returns the physical constants.
 func (n *ClosNet) Config() *Config { return n.cfg }

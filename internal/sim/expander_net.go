@@ -22,6 +22,16 @@ type ExpanderNet struct {
 	metrics *Metrics
 }
 
+func init() {
+	Register("expander", func(p BuildParams) (Network, error) {
+		topo, err := topology.NewExpander(p.Racks, p.HostsPerRack, p.Uplinks, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return NewExpanderNet(p.Engine, p.Sim, topo, p.Seed+1), nil
+	})
+}
+
 // NewExpanderNet wires the expander fabric.
 func NewExpanderNet(eng *eventsim.Engine, cfg Config, topo *topology.Expander, seed int64) *ExpanderNet {
 	n := &ExpanderNet{
@@ -64,6 +74,24 @@ func NewExpanderNet(eng *eventsim.Engine, cfg Config, topo *topology.Expander, s
 
 // Engine returns the simulation engine.
 func (n *ExpanderNet) Engine() *eventsim.Engine { return n.eng }
+
+// Kind implements Network.
+func (n *ExpanderNet) Kind() string { return "expander" }
+
+// PacketCapable implements Network: the expander is all packet switching.
+func (n *ExpanderNet) PacketCapable() bool { return true }
+
+// NumRacks implements Network.
+func (n *ExpanderNet) NumRacks() int { return n.topo.NumRacks }
+
+// HostsPerRack implements Network.
+func (n *ExpanderNet) HostsPerRack() int { return n.topo.HostsPerRack }
+
+// Start implements Network; a static fabric has no circuit clock.
+func (n *ExpanderNet) Start() {}
+
+// Stop implements Network.
+func (n *ExpanderNet) Stop() {}
 
 // Config returns the physical constants.
 func (n *ExpanderNet) Config() *Config { return n.cfg }

@@ -30,6 +30,22 @@ type OperaNet struct {
 	failures *FailureState
 }
 
+func init() {
+	Register("opera", func(p BuildParams) (Network, error) {
+		topo, err := topology.NewOpera(topology.Config{
+			NumRacks:     p.Racks,
+			HostsPerRack: p.HostsPerRack,
+			NumSwitches:  p.Uplinks,
+			Seed:         p.Seed,
+			MaxDiameter:  p.MaxSliceDiameter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return NewOperaNet(p.Engine, p.Sim, topo, p.Seed+1), nil
+	})
+}
+
 // NewOperaNet wires an Opera network over the given topology. seed drives
 // per-ToR packet spraying.
 func NewOperaNet(eng *eventsim.Engine, cfg Config, topo *topology.Opera, seed int64) *OperaNet {
@@ -67,6 +83,13 @@ func (n *OperaNet) Start() {
 // Stop halts the slice clock after the current slice (used to end
 // simulations cleanly so the engine can drain).
 func (n *OperaNet) Stop() { n.stopped = true }
+
+// Kind implements Network.
+func (n *OperaNet) Kind() string { return "opera" }
+
+// PacketCapable implements Network: the non-transitioning rotor matchings
+// form an expander carrying packet-switched low-latency traffic (§3.2).
+func (n *OperaNet) PacketCapable() bool { return true }
 
 // Engine returns the simulation engine.
 func (n *OperaNet) Engine() *eventsim.Engine { return n.eng }

@@ -32,6 +32,26 @@ type RotorNetSim struct {
 	stopped   bool
 }
 
+func init() {
+	builder := func(hybrid bool) Builder {
+		return func(p BuildParams) (Network, error) {
+			topo, err := topology.NewRotorNet(topology.RotorConfig{
+				NumRacks:     p.Racks,
+				HostsPerRack: p.HostsPerRack,
+				Uplinks:      p.Uplinks,
+				Hybrid:       hybrid,
+				Seed:         p.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return NewRotorNetSim(p.Engine, p.Sim, topo), nil
+		}
+	}
+	Register("rotornet", builder(false))
+	Register("rotornet-hybrid", builder(true))
+}
+
 // NewRotorNetSim wires a RotorNet fabric.
 func NewRotorNetSim(eng *eventsim.Engine, cfg Config, topo *topology.RotorNet) *RotorNetSim {
 	n := &RotorNetSim{eng: eng, cfg: &cfg, topo: topo, metrics: NewMetrics()}
@@ -69,6 +89,18 @@ func (n *RotorNetSim) Stop() { n.stopped = true }
 
 // Engine returns the simulation engine.
 func (n *RotorNetSim) Engine() *eventsim.Engine { return n.eng }
+
+// Kind implements Network.
+func (n *RotorNetSim) Kind() string {
+	if n.topo.Hybrid {
+		return "rotornet-hybrid"
+	}
+	return "rotornet"
+}
+
+// PacketCapable implements Network: only the hybrid variant diverts an
+// uplink to an always-on packet fabric for low-latency traffic (§5.1).
+func (n *RotorNetSim) PacketCapable() bool { return n.fabric != nil }
 
 // Config returns the physical constants.
 func (n *RotorNetSim) Config() *Config { return n.cfg }

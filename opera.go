@@ -7,33 +7,45 @@
 // normalization model, and the failure and spectral analyses.
 //
 // The central abstraction is the Cluster: a simulated datacenter of a
-// chosen architecture, to which workloads are submitted as flow lists. A
-// minimal experiment looks like:
+// chosen architecture, to which workloads are submitted as flow lists.
+// Clusters are assembled with functional options:
 //
-//	cl, err := opera.NewCluster(opera.ClusterConfig{
-//		Kind:  opera.KindOpera,
-//		Racks: 16, HostsPerRack: 4, Uplinks: 4,
-//	})
+//	cl, err := opera.New(opera.KindOpera,
+//		opera.WithRacks(16),
+//		opera.WithHostsPerRack(4),
+//		opera.WithUplinks(4),
+//		opera.WithSeed(1),
+//	)
 //	if err != nil { ... }
 //	cl.AddFlows(workload.Shuffle(cl.NumHosts(), 100_000, 0, 1))
 //	cl.RunUntilDone(eventsim.Time(5 * eventsim.Millisecond))
 //	fct := cl.Metrics().FCTSample(nil)
 //
-// Flows smaller than BulkThreshold (default 15 MB, §4.1) are treated as
-// latency-sensitive and ride NDP over the current expander slice; larger
-// flows wait at hosts and ride RotorLB over direct circuits. Baselines use
-// the transports the paper gives them: NDP everywhere for the static
-// networks, RotorLB (plus NDP over the hybrid packet fabric) for RotorNet.
+// Architectures are pluggable: each fabric registers a constructor in the
+// internal/sim builder registry under its Kind's name, and the Cluster
+// attaches transports by capability — NDP wherever the fabric has an
+// always-on packet path, RotorLB wherever it exposes slice-driven circuits
+// (sim.CircuitNetwork). Flows smaller than BulkThreshold (default 15 MB,
+// §4.1) are latency-sensitive and ride NDP over the current expander
+// slice; larger flows wait at hosts and ride RotorLB over direct circuits.
+// Baselines use the transports the paper gives them: NDP everywhere for
+// the static networks, RotorLB (plus NDP over the hybrid packet fabric)
+// for RotorNet.
+//
+// For parameter sweeps, the scenario package fans whole clusters out
+// across goroutines: build a []scenario.Scenario and hand it to
+// scenario.RunScenarios.
 package opera
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/ndp"
 	"github.com/opera-net/opera/internal/rotorlb"
 	"github.com/opera-net/opera/internal/sim"
-	"github.com/opera-net/opera/internal/topology"
 	"github.com/opera-net/opera/internal/workload"
 )
 
@@ -57,21 +69,73 @@ const (
 	KindRotorNetHybrid
 )
 
-func (k Kind) String() string {
-	switch k {
-	case KindOpera:
-		return "opera"
-	case KindExpander:
-		return "expander"
-	case KindFoldedClos:
-		return "foldedclos"
-	case KindRotorNet:
-		return "rotornet"
-	case KindRotorNetHybrid:
-		return "rotornet-hybrid"
-	default:
-		return fmt.Sprintf("kind(%d)", int(k))
+// kindNames maps Kinds to their registered architecture names. Built-in
+// fabrics are listed here; additional ones join through RegisterKind.
+// kindMu guards it: clusters may be built from many goroutines (the
+// scenario runner) while a fabric registers.
+var (
+	kindMu    sync.RWMutex
+	kindNames = map[Kind]string{
+		KindOpera:          "opera",
+		KindExpander:       "expander",
+		KindFoldedClos:     "foldedclos",
+		KindRotorNet:       "rotornet",
+		KindRotorNetHybrid: "rotornet-hybrid",
 	}
+)
+
+// RegisterKind binds a Kind value to an architecture name previously
+// registered with the internal/sim builder registry, making it buildable
+// through New and NewCluster. Because that registry (and the sim.Network
+// contract a fabric implements) lives under internal/, new fabrics are
+// added from within this module — a fork or an in-tree package — rather
+// than from external modules. Pick Kind values well above the built-ins
+// (e.g. iota from 100) to stay clear of future additions. RegisterKind
+// panics if either the Kind or the name is already bound.
+func RegisterKind(k Kind, name string) {
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	if existing, ok := kindNames[k]; ok {
+		panic(fmt.Sprintf("opera: Kind %d already registered as %q", int(k), existing))
+	}
+	for kk, n := range kindNames {
+		if n == name {
+			panic(fmt.Sprintf("opera: name %q already registered as Kind %d", name, int(kk)))
+		}
+	}
+	kindNames[k] = name
+}
+
+// kindName resolves a Kind to its architecture name.
+func kindName(k Kind) (string, bool) {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	name, ok := kindNames[k]
+	return name, ok
+}
+
+func (k Kind) String() string {
+	if name, ok := kindName(k); ok {
+		return name
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind resolves an architecture name ("opera", "expander",
+// "foldedclos", "rotornet", "rotornet-hybrid", or any name added through
+// RegisterKind) to its Kind.
+func ParseKind(name string) (Kind, error) {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	known := make([]string, 0, len(kindNames))
+	for k, n := range kindNames {
+		if n == name {
+			return k, nil
+		}
+		known = append(known, n)
+	}
+	sort.Strings(known)
+	return 0, fmt.Errorf("opera: unknown network %q (have %v)", name, known)
 }
 
 // DefaultBulkThreshold is the flow-size boundary between latency-sensitive
@@ -79,7 +143,9 @@ func (k Kind) String() string {
 // circuits).
 const DefaultBulkThreshold = 15_000_000
 
-// ClusterConfig assembles a simulated datacenter.
+// ClusterConfig assembles a simulated datacenter. New code should prefer
+// New with functional options; NewCluster remains as a thin shim over the
+// same builder.
 type ClusterConfig struct {
 	Kind Kind
 
@@ -114,28 +180,51 @@ type ClusterConfig struct {
 	Seed int64
 }
 
-// Cluster is a simulated datacenter network plus attached transports.
+// Cluster is a simulated datacenter network plus attached transports: one
+// sim.Network and a service-class → Transport dispatch table.
 type Cluster struct {
 	cfg      ClusterConfig
 	eng      *eventsim.Engine
+	net      sim.Network
 	metrics  *sim.Metrics
 	hosts    []*sim.Host
 	registry map[int64]*sim.Flow
 	nextID   int64
 
-	eps []*ndp.Endpoint
-	lb  *rotorlb.LB
-
-	operaNet    *sim.OperaNet
-	expanderNet *sim.ExpanderNet
-	closNet     *sim.ClosNet
-	rotorNet    *sim.RotorNetSim
+	// transports dispatches flow admission by service class.
+	transports map[sim.Class]sim.Transport
+	lb         *rotorlb.LB // nil unless the fabric has circuits
 
 	hostsPerRack int
 }
 
-// NewCluster builds and starts a cluster.
-func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+// New builds and starts a cluster of the given architecture. Options apply
+// over defaults sized like the examples' small testbed: 16 racks × 4
+// hosts, 4 uplinks (folded Clos: k=8, F=3), seed 1.
+func New(kind Kind, opts ...Option) (*Cluster, error) {
+	cfg := ClusterConfig{
+		Kind:         kind,
+		Racks:        16,
+		HostsPerRack: 4,
+		Uplinks:      4,
+		ClosK:        8,
+		ClosF:        3,
+		Seed:         1,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return build(cfg)
+}
+
+// NewCluster builds and starts a cluster from a fully specified config —
+// the legacy construction path, kept as a shim over the same builder New
+// uses.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return build(cfg) }
+
+// build assembles the cluster: the architecture comes out of the builder
+// registry, and transports attach by capability rather than by Kind.
+func build(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.BulkThreshold == 0 {
 		cfg.BulkThreshold = DefaultBulkThreshold
 	}
@@ -152,79 +241,72 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		lbParams = *cfg.RotorLB
 	}
 
-	c := &Cluster{
-		cfg:      cfg,
-		eng:      eventsim.New(),
-		registry: make(map[int64]*sim.Flow),
-	}
-
-	switch cfg.Kind {
-	case KindOpera:
-		topo, err := topology.NewOpera(topology.Config{
-			NumRacks:     cfg.Racks,
-			HostsPerRack: cfg.HostsPerRack,
-			NumSwitches:  cfg.Uplinks,
-			Seed:         cfg.Seed,
-			MaxDiameter:  cfg.MaxSliceDiameter,
-		})
-		if err != nil {
-			return nil, err
-		}
-		c.operaNet = sim.NewOperaNet(c.eng, simCfg, topo, cfg.Seed+1)
-		c.metrics = c.operaNet.Metrics()
-		c.hosts = c.operaNet.Hosts()
-		c.lb = rotorlb.Attach(c.operaNet, lbParams, c.registry)
-		c.eps = ndp.Attach(c.hosts, c.metrics, ndpParams, c.registry)
-		c.operaNet.Start()
-		c.hostsPerRack = cfg.HostsPerRack
-
-	case KindExpander:
-		topo, err := topology.NewExpander(cfg.Racks, cfg.HostsPerRack, cfg.Uplinks, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		c.expanderNet = sim.NewExpanderNet(c.eng, simCfg, topo, cfg.Seed+1)
-		c.metrics = c.expanderNet.Metrics()
-		c.hosts = c.expanderNet.Hosts()
-		c.eps = ndp.Attach(c.hosts, c.metrics, ndpParams, c.registry)
-		c.hostsPerRack = cfg.HostsPerRack
-
-	case KindFoldedClos:
-		topo, err := topology.NewFoldedClos(cfg.ClosK, cfg.ClosF)
-		if err != nil {
-			return nil, err
-		}
-		c.closNet = sim.NewClosNet(c.eng, simCfg, topo, cfg.Seed+1)
-		c.metrics = c.closNet.Metrics()
-		c.hosts = c.closNet.Hosts()
-		c.eps = ndp.Attach(c.hosts, c.metrics, ndpParams, c.registry)
-		c.hostsPerRack = topo.HostsPerToR
-
-	case KindRotorNet, KindRotorNetHybrid:
-		topo, err := topology.NewRotorNet(topology.RotorConfig{
-			NumRacks:     cfg.Racks,
-			HostsPerRack: cfg.HostsPerRack,
-			Uplinks:      cfg.Uplinks,
-			Hybrid:       cfg.Kind == KindRotorNetHybrid,
-			Seed:         cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		c.rotorNet = sim.NewRotorNetSim(c.eng, simCfg, topo)
-		c.metrics = c.rotorNet.Metrics()
-		c.hosts = c.rotorNet.Hosts()
-		c.lb = rotorlb.Attach(c.rotorNet, lbParams, c.registry)
-		if cfg.Kind == KindRotorNetHybrid {
-			c.eps = ndp.Attach(c.hosts, c.metrics, ndpParams, c.registry)
-		}
-		c.rotorNet.Start()
-		c.hostsPerRack = cfg.HostsPerRack
-
-	default:
+	name, ok := kindName(cfg.Kind)
+	if !ok {
 		return nil, fmt.Errorf("opera: unknown network kind %v", cfg.Kind)
 	}
+
+	c := &Cluster{
+		cfg:        cfg,
+		eng:        eventsim.New(),
+		registry:   make(map[int64]*sim.Flow),
+		transports: make(map[sim.Class]sim.Transport),
+	}
+	net, err := sim.Build(name, sim.BuildParams{
+		Engine:           c.eng,
+		Sim:              simCfg,
+		Racks:            cfg.Racks,
+		HostsPerRack:     cfg.HostsPerRack,
+		Uplinks:          cfg.Uplinks,
+		ClosK:            cfg.ClosK,
+		ClosF:            cfg.ClosF,
+		MaxSliceDiameter: cfg.MaxSliceDiameter,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.net = net
+	c.metrics = net.Metrics()
+	c.hosts = net.Hosts()
+	c.hostsPerRack = net.HostsPerRack()
+
+	// Bulk rides RotorLB wherever the fabric exposes circuits. RotorLB must
+	// attach before NDP: NDP chains packets it does not own back to the
+	// handler installed before it.
+	if cn, ok := net.(sim.CircuitNetwork); ok {
+		c.lb = rotorlb.Attach(cn, lbParams, c.registry)
+		c.transports[sim.ClassBulk] = c.lb
+	}
+	// Low-latency traffic rides NDP wherever an always-on packet path
+	// exists; on the static fabrics NDP carries bulk too (Class then only
+	// drives priority queueing, §5's "ideal priority queuing").
+	if net.PacketCapable() {
+		fab := ndp.AttachFabric(c.hosts, c.metrics, ndpParams, c.registry)
+		c.transports[sim.ClassLowLatency] = fab
+		if c.transports[sim.ClassBulk] == nil {
+			c.transports[sim.ClassBulk] = fab
+		}
+	}
+	// Circuit-only fabrics (non-hybrid RotorNet) have no packet path:
+	// everything is reclassified bulk and waits for circuits.
+	if c.transports[sim.ClassLowLatency] == nil {
+		if c.lb == nil {
+			return nil, fmt.Errorf("opera: network %q offers neither packet nor circuit transport", name)
+		}
+		c.transports[sim.ClassLowLatency] = forceBulk{c.lb}
+	}
+	net.Start()
 	return c, nil
+}
+
+// forceBulk reclassifies every flow as bulk before admission — the service
+// model of circuit-only fabrics.
+type forceBulk struct{ t sim.Transport }
+
+func (fb forceBulk) StartFlow(f *sim.Flow) {
+	f.Class = sim.ClassBulk
+	fb.t.StartFlow(f)
 }
 
 // Engine exposes the simulation engine (for custom event scheduling).
@@ -232,6 +314,12 @@ func (c *Cluster) Engine() *eventsim.Engine { return c.eng }
 
 // Metrics exposes flow and throughput accounting.
 func (c *Cluster) Metrics() *sim.Metrics { return c.metrics }
+
+// Network exposes the underlying fabric.
+func (c *Cluster) Network() sim.Network { return c.net }
+
+// Transport returns the transport admitting flows of the given class.
+func (c *Cluster) Transport(class sim.Class) sim.Transport { return c.transports[class] }
 
 // NumHosts returns the host count.
 func (c *Cluster) NumHosts() int { return len(c.hosts) }
@@ -247,7 +335,10 @@ func (c *Cluster) Kind() Kind { return c.cfg.Kind }
 
 // OperaNet exposes the underlying Opera fabric (nil for other kinds), for
 // failure injection and slice-level instrumentation.
-func (c *Cluster) OperaNet() *sim.OperaNet { return c.operaNet }
+func (c *Cluster) OperaNet() *sim.OperaNet {
+	n, _ := c.net.(*sim.OperaNet)
+	return n
+}
 
 // BulkNACKCount reports §4.2.2 NACK retransmissions observed (circuit
 // networks only).
@@ -269,9 +360,8 @@ func (c *Cluster) classify(bytes int64) sim.Class {
 	return sim.ClassLowLatency
 }
 
-// AddFlow registers and schedules a single flow; it starts at spec.Arrival
-// (virtual time, which must not be in the past).
-func (c *Cluster) AddFlow(spec workload.FlowSpec) *sim.Flow {
+// addFlow registers a flow of the given class and schedules its start.
+func (c *Cluster) addFlow(spec workload.FlowSpec, class sim.Class) *sim.Flow {
 	c.nextID++
 	f := &sim.Flow{
 		ID:      c.nextID,
@@ -280,7 +370,7 @@ func (c *Cluster) AddFlow(spec workload.FlowSpec) *sim.Flow {
 		SrcRack: int32(c.HostRack(spec.Src)),
 		DstRack: int32(c.HostRack(spec.Dst)),
 		Size:    spec.Bytes,
-		Class:   c.classify(spec.Bytes),
+		Class:   class,
 		Start:   spec.Arrival,
 	}
 	c.registry[f.ID] = f
@@ -292,6 +382,12 @@ func (c *Cluster) AddFlow(spec workload.FlowSpec) *sim.Flow {
 		c.eng.At(spec.Arrival, start)
 	}
 	return f
+}
+
+// AddFlow registers and schedules a single flow; it starts at spec.Arrival
+// (virtual time, which must not be in the past).
+func (c *Cluster) AddFlow(spec workload.FlowSpec) *sim.Flow {
+	return c.addFlow(spec, c.classify(spec.Bytes))
 }
 
 // AddFlows schedules a batch of flows.
@@ -304,59 +400,21 @@ func (c *Cluster) AddFlows(specs []workload.FlowSpec) {
 // AddBulkFlow schedules a flow that is application-tagged as bulk
 // regardless of its size (§3.4's application-based tagging).
 func (c *Cluster) AddBulkFlow(spec workload.FlowSpec) *sim.Flow {
-	c.nextID++
-	f := &sim.Flow{
-		ID:      c.nextID,
-		SrcHost: int32(spec.Src),
-		DstHost: int32(spec.Dst),
-		SrcRack: int32(c.HostRack(spec.Src)),
-		DstRack: int32(c.HostRack(spec.Dst)),
-		Size:    spec.Bytes,
-		Class:   sim.ClassBulk,
-		Start:   spec.Arrival,
-	}
-	c.registry[f.ID] = f
-	c.metrics.AddFlow(f)
-	start := func() { c.startFlow(f) }
-	if spec.Arrival <= c.eng.Now() {
-		start()
-	} else {
-		c.eng.At(spec.Arrival, start)
-	}
-	return f
+	return c.addFlow(spec, sim.ClassBulk)
 }
 
-// startFlow hands the flow to the right transport for this architecture.
+// startFlow hands the flow to the transport serving its class.
 func (c *Cluster) startFlow(f *sim.Flow) {
-	switch c.cfg.Kind {
-	case KindOpera:
-		if f.Class == sim.ClassBulk {
-			c.lb.StartFlow(f)
-		} else {
-			c.eps[f.SrcHost].StartFlow(f)
-		}
-	case KindExpander, KindFoldedClos:
-		// Static networks carry everything over NDP; Class drives only
-		// priority queueing (§5's "ideal priority queuing").
-		c.eps[f.SrcHost].StartFlow(f)
-	case KindRotorNet:
-		// No packet fabric: everything waits for circuits.
-		f.Class = sim.ClassBulk
-		c.lb.StartFlow(f)
-	case KindRotorNetHybrid:
-		if f.Class == sim.ClassBulk {
-			c.lb.StartFlow(f)
-		} else {
-			c.eps[f.SrcHost].StartFlow(f)
-		}
-	}
+	c.transports[f.Class].StartFlow(f)
 }
 
 // Run advances the simulation to the given absolute virtual time.
 func (c *Cluster) Run(until eventsim.Time) { c.eng.RunUntil(until) }
 
 // RunUntilDone advances until every registered flow completes or the
-// deadline passes, checking at 100 µs granularity. It reports completion.
+// deadline passes, checking at 100 µs granularity; it returns early when
+// the event queue drains, since no pending event means no flow can make
+// further progress. It reports completion.
 func (c *Cluster) RunUntilDone(deadline eventsim.Time) bool {
 	const step = 100 * eventsim.Microsecond
 	for c.eng.Now() < deadline {
@@ -365,17 +423,13 @@ func (c *Cluster) RunUntilDone(deadline eventsim.Time) bool {
 		if done == total {
 			return true
 		}
+		if c.eng.Len() == 0 {
+			break
+		}
 	}
 	done, total := c.metrics.DoneCount()
 	return done == total
 }
 
 // Stop halts circuit clocks so a finished simulation can drain.
-func (c *Cluster) Stop() {
-	if c.operaNet != nil {
-		c.operaNet.Stop()
-	}
-	if c.rotorNet != nil {
-		c.rotorNet.Stop()
-	}
-}
+func (c *Cluster) Stop() { c.net.Stop() }

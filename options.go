@@ -1,0 +1,70 @@
+package opera
+
+import (
+	"github.com/opera-net/opera/internal/ndp"
+	"github.com/opera-net/opera/internal/rotorlb"
+	"github.com/opera-net/opera/internal/sim"
+)
+
+// Option adjusts one knob of a cluster under construction; pass Options to
+// New. Options are applied in order over the defaults, so later options
+// win.
+type Option func(*ClusterConfig)
+
+// WithRacks sets the rack count (Opera/RotorNet/expander fabrics).
+func WithRacks(n int) Option {
+	return func(cfg *ClusterConfig) { cfg.Racks = n }
+}
+
+// WithHostsPerRack sets hosts per rack d.
+func WithHostsPerRack(n int) Option {
+	return func(cfg *ClusterConfig) { cfg.HostsPerRack = n }
+}
+
+// WithUplinks sets uplinks per ToR (the expander's fabric degree u).
+func WithUplinks(n int) Option {
+	return func(cfg *ClusterConfig) { cfg.Uplinks = n }
+}
+
+// WithClos sizes the folded Clos: radix k and oversubscription F.
+func WithClos(k, f int) Option {
+	return func(cfg *ClusterConfig) { cfg.ClosK, cfg.ClosF = k, f }
+}
+
+// WithBulkThreshold sets the flow-size boundary between latency-sensitive
+// and bulk service (§4.1).
+func WithBulkThreshold(bytes int64) Option {
+	return func(cfg *ClusterConfig) { cfg.BulkThreshold = bytes }
+}
+
+// WithAppTaggedBulk forces every flow to bulk service regardless of size
+// (§5.2's application-tagged shuffle).
+func WithAppTaggedBulk(tagged bool) Option {
+	return func(cfg *ClusterConfig) { cfg.AppTaggedBulk = tagged }
+}
+
+// WithSeed seeds topology generation and per-ToR packet spraying.
+func WithSeed(seed int64) Option {
+	return func(cfg *ClusterConfig) { cfg.Seed = seed }
+}
+
+// WithSimConfig overrides the simulator's physical constants.
+func WithSimConfig(sc sim.Config) Option {
+	return func(cfg *ClusterConfig) { cfg.Sim = &sc }
+}
+
+// WithNDPParams overrides NDP protocol parameters.
+func WithNDPParams(p ndp.Params) Option {
+	return func(cfg *ClusterConfig) { cfg.NDP = &p }
+}
+
+// WithRotorLBParams overrides RotorLB protocol parameters.
+func WithRotorLBParams(p rotorlb.Params) Option {
+	return func(cfg *ClusterConfig) { cfg.RotorLB = &p }
+}
+
+// WithMaxSliceDiameter bounds Opera slice diameters at build time (5
+// reproduces the paper's ε sizing; 0 means no bound).
+func WithMaxSliceDiameter(d int) Option {
+	return func(cfg *ClusterConfig) { cfg.MaxSliceDiameter = d }
+}

@@ -1,0 +1,184 @@
+// Package scenario turns single-cluster simulations into declarative,
+// parallel parameter sweeps. A Scenario names an architecture, a workload
+// generator, a run deadline and a seed; RunScenarios fans independent
+// clusters out across goroutines and returns one Result per Scenario.
+//
+// Every cluster owns its event engine and randomness, so a Scenario's
+// Result is a pure function of the Scenario value: RunScenarios produces
+// identical Results at any parallelism, and sweeps can safely use all
+// cores.
+//
+//	results, err := scenario.RunScenarios(ctx, []scenario.Scenario{
+//		{Name: "opera", Kind: opera.KindOpera, Seed: 1,
+//			Workload: scenario.Shuffle(100_000, 0),
+//			Duration: 2000 * eventsim.Millisecond},
+//		{Name: "expander", Kind: opera.KindExpander, Seed: 1,
+//			Workload: scenario.Shuffle(100_000, eventsim.Millisecond),
+//			Duration: 2000 * eventsim.Millisecond},
+//	}, scenario.Parallelism(4))
+package scenario
+
+import (
+	opera "github.com/opera-net/opera"
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/workload"
+)
+
+// Workload generates the flow list for a cluster of the given shape. The
+// seed is the Scenario's; generators that want their own stream may ignore
+// it.
+type Workload func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec
+
+// Shuffle is an all-to-all shuffle of fixed-size flows (§5.2) across every
+// host, with arrivals spread over stagger.
+func Shuffle(flowBytes int64, stagger eventsim.Time) Workload {
+	return ShuffleN(0, flowBytes, stagger)
+}
+
+// ShuffleN is Shuffle among only the first participants hosts (0 = all) —
+// architectures quantize host counts differently (a k=8 folded Clos has
+// 192 hosts vs the small testbed's 64), and capping keeps one workload
+// identical across them.
+func ShuffleN(participants int, flowBytes int64, stagger eventsim.Time) Workload {
+	return func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
+		if participants > 0 && participants < numHosts {
+			numHosts = participants
+		}
+		return workload.Shuffle(numHosts, flowBytes, stagger, seed)
+	}
+}
+
+// Poisson offers Poisson arrivals drawn from a flow-size distribution at a
+// fraction of aggregate host bandwidth for the given window. maxFlowBytes
+// caps sampled sizes (0 = unlimited).
+func Poisson(dist *workload.FlowSizeDist, load float64, window eventsim.Time, maxFlowBytes int64) Workload {
+	return func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
+		flows := workload.Poisson(workload.PoissonConfig{
+			NumHosts:     numHosts,
+			HostsPerRack: hostsPerRack,
+			Load:         load,
+			LinkRateGbps: 10,
+			Duration:     window,
+			Dist:         dist,
+			Seed:         seed,
+		})
+		if maxFlowBytes > 0 {
+			for i := range flows {
+				if flows[i].Bytes > maxFlowBytes {
+					flows[i].Bytes = maxFlowBytes
+				}
+			}
+		}
+		return flows
+	}
+}
+
+// Fixed replays a precomputed flow list.
+func Fixed(flows []workload.FlowSpec) Workload {
+	return func(int, int, int64) []workload.FlowSpec { return flows }
+}
+
+// Scenario is one self-contained simulation: an architecture, its sizing
+// options, a workload and a deadline.
+type Scenario struct {
+	// Name labels the scenario in its Result.
+	Name string
+	// Kind picks the architecture; Options size it (applied after
+	// WithSeed(Seed), so an explicit WithSeed among Options wins).
+	Kind    opera.Kind
+	Options []opera.Option
+	// Workload generates the flow list; nil means no flows.
+	Workload Workload
+	// Duration is the RunUntilDone deadline in virtual time; the run ends
+	// earlier once every flow completes or the event queue drains.
+	Duration eventsim.Time
+	// Seed seeds the cluster topology and the workload generator.
+	Seed int64
+}
+
+// FCTStats summarizes a flow-completion-time sample in microseconds.
+type FCTStats struct {
+	N                           int
+	MeanUs, P50Us, P99Us, MaxUs float64
+}
+
+func fctStats(m *sim.Metrics, filter func(*sim.Flow) bool) FCTStats {
+	s := m.FCTSample(filter)
+	if s.N() == 0 {
+		return FCTStats{}
+	}
+	return FCTStats{N: s.N(), MeanUs: s.Mean(), P50Us: s.Median(), P99Us: s.P99(), MaxUs: s.Max()}
+}
+
+// Result reports one finished Scenario. It is a comparable value:
+// RunScenarios at any Parallelism yields identical Results for identical
+// Scenarios, which tests assert with ==.
+type Result struct {
+	Name string
+	Kind opera.Kind
+	Seed int64
+
+	// Completed reports whether every flow finished before Duration.
+	Completed  bool
+	FlowsDone  int
+	FlowsTotal int
+
+	// All, LowLat and Bulk summarize completion times of finished flows,
+	// overall and per service class.
+	All, LowLat, Bulk FCTStats
+
+	// ThroughputGbps is delivered application bandwidth over the virtual
+	// time actually simulated.
+	ThroughputGbps float64
+	// AggregateTax is the overall bandwidth tax (extra ToR-to-ToR
+	// traversals per goodput byte).
+	AggregateTax float64
+	// BulkNACKs counts §4.2.2 circuit NACKs.
+	BulkNACKs uint64
+	// SimEvents counts discrete events executed.
+	SimEvents uint64
+
+	// Err is non-empty when the cluster could not be built or the run was
+	// cancelled; all measurement fields are then zero.
+	Err string
+}
+
+// Collect runs one Scenario and returns the finished cluster alongside its
+// Result, for callers that need raw flows or time series beyond the
+// Result summary. The cluster is nil when construction failed.
+func Collect(sc Scenario) (*opera.Cluster, Result) {
+	res := Result{Name: sc.Name, Kind: sc.Kind, Seed: sc.Seed}
+	opts := make([]opera.Option, 0, len(sc.Options)+1)
+	opts = append(opts, opera.WithSeed(sc.Seed))
+	opts = append(opts, sc.Options...)
+	cl, err := opera.New(sc.Kind, opts...)
+	if err != nil {
+		res.Err = err.Error()
+		return nil, res
+	}
+	if sc.Workload != nil {
+		cl.AddFlows(sc.Workload(cl.NumHosts(), cl.HostsPerRack(), sc.Seed))
+	}
+	res.Completed = cl.RunUntilDone(sc.Duration)
+	cl.Stop()
+
+	m := cl.Metrics()
+	res.FlowsDone, res.FlowsTotal = m.DoneCount()
+	res.All = fctStats(m, func(f *sim.Flow) bool { return f.Done })
+	res.LowLat = fctStats(m, func(f *sim.Flow) bool { return f.Done && f.Class == sim.ClassLowLatency })
+	res.Bulk = fctStats(m, func(f *sim.Flow) bool { return f.Done && f.Class == sim.ClassBulk })
+	if elapsed := cl.Engine().Now().Seconds(); elapsed > 0 {
+		res.ThroughputGbps = m.DeliveredBytes.Total() * 8 / elapsed / 1e9
+	}
+	res.AggregateTax = m.AggregateTax()
+	res.BulkNACKs = cl.BulkNACKCount()
+	res.SimEvents = cl.Engine().Steps()
+	return cl, res
+}
+
+// Run executes one Scenario and returns its Result.
+func Run(sc Scenario) Result {
+	_, res := Collect(sc)
+	return res
+}
