@@ -7,12 +7,17 @@
 //	opera-sim -network opera -workload datamining -load 0.25 -duration 20ms
 //	opera-sim -network foldedclos -workload shuffle -flowbytes 100000
 //	opera-sim -network rotornet -workload websearch -load 0.05
+//	opera-sim -network opera -workload shuffle -tag shuffle \
+//	    -fail-at 500us:link:3:2,2ms:recover-link:3:2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	opera "github.com/opera-net/opera"
@@ -20,6 +25,83 @@ import (
 	"github.com/opera-net/opera/internal/workload"
 	"github.com/opera-net/opera/scenario"
 )
+
+// parseFaultSchedule turns "-fail-at 500us:link:3:2,2ms:switch:1" into
+// scenario Events: each comma-separated entry is TIME:ACTION with ACTION
+// one of link:R:S, tor:R, switch:S, recover-link:R:S, recover-tor:R,
+// recover-switch:S, or random-links:FRAC.
+func parseFaultSchedule(s string) ([]scenario.Event, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []scenario.Event
+	for _, item := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("fault %q: want TIME:ACTION[:ARGS]", item)
+		}
+		d, err := time.ParseDuration(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("fault %q: %v", item, err)
+		}
+		args := parts[2:]
+		argInt := func(i int) (int, error) {
+			if i >= len(args) {
+				return 0, fmt.Errorf("fault %q: action %s wants more arguments", item, parts[1])
+			}
+			return strconv.Atoi(args[i])
+		}
+		two := func(mk func(a, b int) scenario.Action) (scenario.Action, error) {
+			a, err := argInt(0)
+			if err != nil {
+				return scenario.Action{}, err
+			}
+			b, err := argInt(1)
+			if err != nil {
+				return scenario.Action{}, err
+			}
+			return mk(a, b), nil
+		}
+		one := func(mk func(a int) scenario.Action) (scenario.Action, error) {
+			a, err := argInt(0)
+			if err != nil {
+				return scenario.Action{}, err
+			}
+			return mk(a), nil
+		}
+		var act scenario.Action
+		switch parts[1] {
+		case "link":
+			act, err = two(scenario.FailLink)
+		case "tor":
+			act, err = one(scenario.FailToR)
+		case "switch":
+			act, err = one(scenario.FailSwitch)
+		case "recover-link":
+			act, err = two(scenario.RecoverLink)
+		case "recover-tor":
+			act, err = one(scenario.RecoverToR)
+		case "recover-switch":
+			act, err = one(scenario.RecoverSwitch)
+		case "random-links":
+			if len(args) < 1 {
+				return nil, fmt.Errorf("fault %q: random-links wants a fraction", item)
+			}
+			frac, ferr := strconv.ParseFloat(args[0], 64)
+			if ferr != nil {
+				return nil, fmt.Errorf("fault %q: %v", item, ferr)
+			}
+			act = scenario.FailRandomLinks(frac)
+		default:
+			return nil, fmt.Errorf("fault %q: unknown action %q", item, parts[1])
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scenario.At(eventsim.Time(d.Nanoseconds()), act))
+	}
+	return out, nil
+}
 
 func main() {
 	network := flag.String("network", "opera", "opera | expander | foldedclos | rotornet | rotornet-hybrid")
@@ -35,7 +117,17 @@ func main() {
 	maxFlow := flag.Int64("maxflow", 50_000_000, "cap on sampled flow sizes (0 = none)")
 	seed := flag.Int64("seed", 1, "random seed")
 	drain := flag.Int("drain", 50, "drain deadline as a multiple of -duration")
+	failAt := flag.String("fail-at", "", "comma-separated fault schedule, each TIME:ACTION "+
+		"(link:R:S | tor:R | switch:S | recover-link:R:S | recover-tor:R | recover-switch:S | random-links:FRAC), "+
+		"e.g. \"500us:link:3:2,2ms:recover-link:3:2\"")
+	tagName := flag.String("tag", "", "tag generated flows; per-tag stats are reported")
 	flag.Parse()
+
+	events, err := parseFaultSchedule(*failAt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	kind, err := opera.ParseKind(*network)
 	if err != nil {
@@ -66,6 +158,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
 		os.Exit(2)
 	}
+	if *tagName != "" {
+		gen = scenario.Tag(*tagName, gen)
+	}
 
 	sc := scenario.Scenario{
 		Name: *network,
@@ -81,6 +176,7 @@ func main() {
 			opera.WithAppTaggedBulk(*wl == "shuffle" || *wl == "hotrack" || *wl == "permutation"),
 		},
 		Workload: gen,
+		Events:   events,
 		Duration: dur * eventsim.Time(*drain),
 	}
 
@@ -110,6 +206,18 @@ func main() {
 	}
 	fmt.Printf("  throughput=%.2f Gb/s aggregate-tax=%.1f%% bulk-NACKs=%d sim-events=%d\n",
 		res.ThroughputGbps, 100*res.AggregateTax, res.BulkNACKs, res.SimEvents)
+	if len(res.ByTag) > 0 {
+		tags := make([]string, 0, len(res.ByTag))
+		for t := range res.ByTag {
+			tags = append(tags, t)
+		}
+		sort.Strings(tags)
+		for _, t := range tags {
+			ts := res.ByTag[t]
+			fmt.Printf("  tag %-8s n=%d/%d p50=%.1fµs p99=%.1fµs throughput=%.2f Gb/s\n",
+				t, ts.FlowsDone, ts.FlowsTotal, ts.FCT.P50Us, ts.FCT.P99Us, ts.ThroughputGbps)
+		}
+	}
 }
 
 func max(a, b int) int {

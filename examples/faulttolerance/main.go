@@ -16,7 +16,7 @@ import (
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/faults"
 	"github.com/opera-net/opera/internal/topology"
-	"github.com/opera-net/opera/internal/workload"
+	"github.com/opera-net/opera/scenario"
 )
 
 func main() {
@@ -54,22 +54,36 @@ func main() {
 	fmt.Println("≈7% of ToRs, or 2 of 6 circuit switches — failures cost path")
 	fmt.Println("stretch first, disconnection only much later (§5.5, App. E).")
 
-	// Packet level: fail a live link mid-run and watch traffic route
-	// around it via the hello-protocol epidemic (§3.6.2).
-	cl, err := opera.New(opera.KindOpera,
-		opera.WithRacks(16),
-		opera.WithHostsPerRack(4),
-		opera.WithUplinks(4),
-		opera.WithSeed(1),
-	)
-	if err != nil {
-		log.Fatal(err)
+	// Packet level: fail a live link mid-run — declared as a Scenario
+	// fault schedule — and watch traffic route around it via the
+	// hello-protocol epidemic (§3.6.2), with a probe tracking completion.
+	res := scenario.Run(scenario.Scenario{
+		Name: "opera-link-failure",
+		Kind: opera.KindOpera,
+		Seed: 1,
+		Options: []opera.Option{
+			opera.WithRacks(16),
+			opera.WithHostsPerRack(4),
+			opera.WithUplinks(4),
+		},
+		Workload: scenario.ShuffleN(16, 30_000, eventsim.Millisecond),
+		Events: []scenario.Event{
+			scenario.At(500*eventsim.Microsecond, scenario.FailLink(3, 2)),
+		},
+		Probes: []scenario.Probe{
+			scenario.Sample("done_flows", eventsim.Millisecond,
+				func(cl *opera.Cluster, _ eventsim.Time) float64 {
+					done, _ := cl.Metrics().DoneCount()
+					return float64(done)
+				}),
+		},
+		Duration: 4000 * eventsim.Millisecond,
+	})
+	if res.Err != "" {
+		log.Fatal(res.Err)
 	}
-	cl.OperaNet().Failures().FailLink(3, 2, 500*eventsim.Microsecond)
-	cl.AddFlows(workload.Shuffle(16, 30_000, eventsim.Millisecond, 1))
-	completed := cl.RunUntilDone(4000 * eventsim.Millisecond)
-	done, total := cl.Metrics().DoneCount()
 	fmt.Printf("\npacket-level check: link (rack 3, switch 2) failed at 500 µs;")
 	fmt.Printf(" %d/%d flows still completed (complete=%v, bulk NACKs=%d)\n",
-		done, total, completed, cl.BulkNACKCount())
+		res.FlowsDone, res.FlowsTotal, res.Completed, res.BulkNACKs)
+	fmt.Printf("done flows per ms: %v\n", res.Probes[0].Values)
 }

@@ -161,6 +161,34 @@ func TestFig08SmallShuffle(t *testing.T) {
 	}
 }
 
+func TestFig10MixedTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level experiment")
+	}
+	opt := DefaultMixedOptions()
+	opt.WebsearchLoads = []float64{0.05}
+	opt.Duration = 5 * eventsim.Millisecond
+	tables, err := Fig10Mixed(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	if len(tables[0].Rows) != 3 {
+		t.Fatalf("throughput rows = %d, want one per network", len(tables[0].Rows))
+	}
+	// The by-tag breakdown carries both workload components per cell.
+	if len(tables[1].Rows) != 6 {
+		t.Fatalf("by-tag rows = %d, want networks × tags", len(tables[1].Rows))
+	}
+	for _, r := range tables[1].Rows {
+		if r[2] != "shuffle" && r[2] != "websearch" {
+			t.Fatalf("unexpected tag %q", r[2])
+		}
+	}
+}
+
 func TestFig07TinyRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("packet-level experiment")

@@ -1,11 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
+	operapkg "github.com/opera-net/opera"
+	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/faults"
-	"github.com/opera-net/opera/internal/topology"
+	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/scenario"
 )
+
+// The fault-tolerance figures (11, 18–20) are declared as Scenarios: each
+// (failure type, fraction) cell is one Scenario whose probes run the
+// §5.5/Appendix E analysis against the built cluster's topology, and the
+// scenario runner fans the cells out across cores. Probe values land in
+// Result.Probes, from which the drivers assemble the same CSV rows the
+// bespoke loops produced.
 
 // FailureFractions are the x-axis points of Figures 11 and 18–20.
 var FailureFractions = []float64{0.01, 0.025, 0.05, 0.10, 0.20, 0.40}
@@ -13,6 +25,68 @@ var FailureFractions = []float64{0.01, 0.025, 0.05, 0.10, 0.20, 0.40}
 // SwitchFailureFractions are the circuit-switch points (the paper sweeps
 // to 50%).
 var SwitchFailureFractions = []float64{0.01, 0.025, 0.05, 0.10, 0.20, 0.50}
+
+// analysisProbes builds one probe column per named value, all sharing a
+// single cached run of an expensive whole-topology analysis: the first
+// probe to fire computes every column, the rest just read their slot.
+func analysisProbes(names []string, compute func(cl *operapkg.Cluster, out []float64)) []scenario.Probe {
+	var once sync.Once
+	vals := make([]float64, len(names))
+	probes := make([]scenario.Probe, len(names))
+	for i, name := range names {
+		i := i
+		probes[i] = scenario.Sample(name, 0, func(cl *operapkg.Cluster, _ eventsim.Time) float64 {
+			once.Do(func() { compute(cl, vals) })
+			return vals[i]
+		})
+	}
+	return probes
+}
+
+// probeRow extracts the one-shot probe values of a Result in order.
+func probeRow(res scenario.Result) ([]float64, error) {
+	if res.Err != "" {
+		return nil, fmt.Errorf("%s: %s", res.Name, res.Err)
+	}
+	out := make([]float64, len(res.Probes))
+	for i, p := range res.Probes {
+		if len(p.Values) == 0 {
+			return nil, fmt.Errorf("%s: probe %s recorded nothing", res.Name, p.Name)
+		}
+		out[i] = p.Values[0]
+	}
+	return out, nil
+}
+
+// faultCell names one (failure type, fraction) point of a sweep.
+type faultCell struct {
+	kind string
+	frac float64
+}
+
+// runFaultCells executes one Scenario per cell — topology-only, no
+// workload — with the probes the builder supplies, returning the probe
+// values per cell.
+func runFaultCells(cells []faultCell, base scenario.Scenario, probes func(c faultCell) []scenario.Probe) ([][]float64, error) {
+	scs := make([]scenario.Scenario, len(cells))
+	for i, c := range cells {
+		sc := base
+		sc.Name = fmt.Sprintf("%s_%s_%g", base.Name, c.kind, c.frac)
+		sc.Probes = probes(c)
+		scs[i] = sc
+	}
+	results, err := scenario.RunScenarios(context.Background(), scs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, len(cells))
+	for i, res := range results {
+		if rows[i], err = probeRow(res); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
 
 // Fig11FaultTolerance regenerates Figure 11 (connectivity loss) and
 // Figure 18 (path stretch) for Opera under link, ToR and circuit-switch
@@ -26,18 +100,44 @@ func Fig11FaultTolerance(s Scale, trials int) ([]Table, error) {
 	paths := Table{Name: fmt.Sprintf("fig18_path_stretch_%s", s.Name),
 		Header: []string{"failure_type", "fraction", "avg_path", "worst_path"}}
 
-	o, err := topology.NewOpera(topology.Config{
-		NumRacks: s.Racks, HostsPerRack: s.HostsPerRack, NumSwitches: s.Uplinks, Seed: s.Seed,
-	})
-	if err != nil {
-		return nil, err
+	var cells []faultCell
+	for _, frac := range FailureFractions {
+		cells = append(cells, faultCell{"links", frac})
 	}
-	run := func(kind string, fLinks, fToRs, fSwitches func(frac float64) float64, fracs []float64) {
-		for _, frac := range fracs {
+	for _, frac := range FailureFractions {
+		cells = append(cells, faultCell{"tors", frac})
+	}
+	for _, frac := range SwitchFailureFractions {
+		cells = append(cells, faultCell{"switches", frac})
+	}
+
+	base := scenario.Scenario{
+		Name: "fig11",
+		Kind: operapkg.KindOpera,
+		Seed: s.Seed,
+		Options: []operapkg.Option{
+			operapkg.WithRacks(s.Racks),
+			operapkg.WithHostsPerRack(s.HostsPerRack),
+			operapkg.WithUplinks(s.Uplinks),
+		},
+	}
+	cols := []string{"worst_slice_loss", "across_all_slices_loss", "avg_path", "worst_path"}
+	rows, err := runFaultCells(cells, base, func(c faultCell) []scenario.Probe {
+		fLinks, fToRs, fSwitches := 0.0, 0.0, 0.0
+		switch c.kind {
+		case "links":
+			fLinks = c.frac
+		case "tors":
+			fToRs = c.frac
+		case "switches":
+			fSwitches = c.frac
+		}
+		return analysisProbes(cols, func(cl *operapkg.Cluster, out []float64) {
+			o := cl.OperaNet().Topology()
 			var worst, union, avg float64
 			maxPath := 0
 			for tr := 0; tr < trials; tr++ {
-				r := faults.OperaFailures(o, fLinks(frac), fToRs(frac), fSwitches(frac), int64(tr)*31+7)
+				r := faults.OperaFailures(o, fLinks, fToRs, fSwitches, int64(tr)*31+7)
 				worst += r.WorstSliceLoss
 				union += r.UnionLoss
 				avg += r.AvgPath
@@ -46,16 +146,54 @@ func Fig11FaultTolerance(s Scale, trials int) ([]Table, error) {
 				}
 			}
 			n := float64(trials)
-			conn.Add(kind, frac, worst/n, union/n)
-			paths.Add(kind, frac, avg/n, maxPath)
+			out[0], out[1], out[2], out[3] = worst/n, union/n, avg/n, float64(maxPath)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		conn.Add(c.kind, c.frac, rows[i][0], rows[i][1])
+		paths.Add(c.kind, c.frac, rows[i][2], int(rows[i][3]))
+	}
+	return []Table{conn, paths}, nil
+}
+
+// staticFaultFigure runs a Fig19/Fig20-style sweep: one Scenario per
+// fraction and failure type on a static topology, probing loss and path
+// stretch.
+func staticFaultFigure(t *Table, base scenario.Scenario, kinds []string,
+	analyze func(cl *operapkg.Cluster, kind string, frac float64, trial int) faults.StaticResult, trials int) error {
+	var cells []faultCell
+	for _, frac := range FailureFractions {
+		for _, kind := range kinds {
+			cells = append(cells, faultCell{kind, frac})
 		}
 	}
-	zero := func(float64) float64 { return 0 }
-	id := func(f float64) float64 { return f }
-	run("links", id, zero, zero, FailureFractions)
-	run("tors", zero, id, zero, FailureFractions)
-	run("switches", zero, zero, id, SwitchFailureFractions)
-	return []Table{conn, paths}, nil
+	cols := []string{"loss", "avg_path", "worst_path"}
+	rows, err := runFaultCells(cells, base, func(c faultCell) []scenario.Probe {
+		return analysisProbes(cols, func(cl *operapkg.Cluster, out []float64) {
+			var loss, avg float64
+			maxPath := 0
+			for tr := 0; tr < trials; tr++ {
+				r := analyze(cl, c.kind, c.frac, tr)
+				loss += r.Loss
+				avg += r.AvgPath
+				if r.MaxPath > maxPath {
+					maxPath = r.MaxPath
+				}
+			}
+			n := float64(trials)
+			out[0], out[1], out[2] = loss/n, avg/n, float64(maxPath)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	for i, c := range cells {
+		t.Add(c.kind, c.frac, rows[i][0], rows[i][1], int(rows[i][2]))
+	}
+	return nil
 }
 
 // Fig19ClosFailures regenerates Figure 19: the 3:1 folded Clos under link
@@ -66,30 +204,23 @@ func Fig19ClosFailures(s Scale, trials int) ([]Table, error) {
 	}
 	t := Table{Name: fmt.Sprintf("fig19_clos_failures_%s", s.Name),
 		Header: []string{"failure_type", "fraction", "loss", "avg_path", "worst_path"}}
-	c, err := topology.NewFoldedClos(s.ClosK, s.ClosF)
+	base := scenario.Scenario{
+		Name:    "fig19",
+		Kind:    operapkg.KindFoldedClos,
+		Seed:    s.Seed,
+		Options: []operapkg.Option{operapkg.WithClos(s.ClosK, s.ClosF)},
+	}
+	err := staticFaultFigure(&t, base, []string{"links", "switches"},
+		func(cl *operapkg.Cluster, kind string, frac float64, tr int) faults.StaticResult {
+			c := cl.Network().(*sim.ClosNet).Topology()
+			seed := int64(tr)*17 + 3
+			if kind == "links" {
+				return faults.ClosFailures(c, frac, 0, seed)
+			}
+			return faults.ClosFailures(c, 0, frac, seed)
+		}, trials)
 	if err != nil {
 		return nil, err
-	}
-	for _, frac := range FailureFractions {
-		var lossL, avgL, lossS, avgS float64
-		maxL, maxS := 0, 0
-		for tr := 0; tr < trials; tr++ {
-			r := faults.ClosFailures(c, frac, 0, int64(tr)*17+3)
-			lossL += r.Loss
-			avgL += r.AvgPath
-			if r.MaxPath > maxL {
-				maxL = r.MaxPath
-			}
-			r = faults.ClosFailures(c, 0, frac, int64(tr)*17+3)
-			lossS += r.Loss
-			avgS += r.AvgPath
-			if r.MaxPath > maxS {
-				maxS = r.MaxPath
-			}
-		}
-		n := float64(trials)
-		t.Add("links", frac, lossL/n, avgL/n, maxL)
-		t.Add("switches", frac, lossS/n, avgS/n, maxS)
 	}
 	return []Table{t}, nil
 }
@@ -102,30 +233,27 @@ func Fig20ExpanderFailures(s Scale, trials int) ([]Table, error) {
 	}
 	t := Table{Name: fmt.Sprintf("fig20_expander_failures_%s", s.Name),
 		Header: []string{"failure_type", "fraction", "loss", "avg_path", "worst_path"}}
-	e, err := topology.NewExpander(s.ExpRacks, s.ExpHosts, s.ExpDegree, s.Seed)
+	base := scenario.Scenario{
+		Name: "fig20",
+		Kind: operapkg.KindExpander,
+		Seed: s.Seed,
+		Options: []operapkg.Option{
+			operapkg.WithRacks(s.ExpRacks),
+			operapkg.WithHostsPerRack(s.ExpHosts),
+			operapkg.WithUplinks(s.ExpDegree),
+		},
+	}
+	err := staticFaultFigure(&t, base, []string{"links", "tors"},
+		func(cl *operapkg.Cluster, kind string, frac float64, tr int) faults.StaticResult {
+			e := cl.Network().(*sim.ExpanderNet).Topology()
+			seed := int64(tr)*13 + 5
+			if kind == "links" {
+				return faults.ExpanderFailures(e, frac, 0, seed)
+			}
+			return faults.ExpanderFailures(e, 0, frac, seed)
+		}, trials)
 	if err != nil {
 		return nil, err
-	}
-	for _, frac := range FailureFractions {
-		var lossL, avgL, lossT, avgT float64
-		maxL, maxT := 0, 0
-		for tr := 0; tr < trials; tr++ {
-			r := faults.ExpanderFailures(e, frac, 0, int64(tr)*13+5)
-			lossL += r.Loss
-			avgL += r.AvgPath
-			if r.MaxPath > maxL {
-				maxL = r.MaxPath
-			}
-			r = faults.ExpanderFailures(e, 0, frac, int64(tr)*13+5)
-			lossT += r.Loss
-			avgT += r.AvgPath
-			if r.MaxPath > maxT {
-				maxT = r.MaxPath
-			}
-		}
-		n := float64(trials)
-		t.Add("links", frac, lossL/n, avgL/n, maxL)
-		t.Add("tors", frac, lossT/n, avgT/n, maxT)
 	}
 	return []Table{t}, nil
 }

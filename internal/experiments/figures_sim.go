@@ -313,11 +313,39 @@ func DefaultMixedOptions() MixedOptions {
 	}
 }
 
+// rackSaturate is the Figure 10 underlay: every host keeps one large
+// application-tagged bulk flow to its counterpart in every other rack,
+// sized to fill the host link for the whole window.
+func rackSaturate(window eventsim.Time) scenario.Workload {
+	return func(numHosts, hostsPerRack int, _ int64) []workload.FlowSpec {
+		perRack := numHosts / hostsPerRack
+		bulkBytes := int64(float64(window.Seconds()) * 10e9 / 8 / float64(perRack-1))
+		var bulk []workload.FlowSpec
+		for h := 0; h < numHosts; h++ {
+			for r := 0; r < perRack; r++ {
+				if r == h/hostsPerRack {
+					continue
+				}
+				bulk = append(bulk, workload.FlowSpec{
+					Src: h, Dst: r*hostsPerRack + h%hostsPerRack, Bytes: bulkBytes,
+				})
+			}
+		}
+		return bulk
+	}
+}
+
 // Fig10Mixed regenerates Figure 10: aggregate delivered throughput vs
 // Websearch (low-latency) load with a saturating bulk shuffle underneath.
+// The mixed workload rides the scenario tagging hooks — the bulk underlay
+// is per-flow application-tagged (§3.4), websearch is classified by size —
+// so every (network, load) cell fans out through the scenario runner, and
+// a by-tag table breaks the aggregate down into its two components.
 func Fig10Mixed(opt MixedOptions) ([]Table, error) {
 	t := Table{Name: fmt.Sprintf("fig10_mixed_throughput_%s", opt.Scale.Name),
 		Header: []string{"network", "websearch_load", "normalized_throughput"}}
+	byTag := Table{Name: fmt.Sprintf("fig10_mixed_by_tag_%s", opt.Scale.Name),
+		Header: []string{"network", "websearch_load", "tag", "throughput_gbps", "p99_fct_us", "flows_done", "flows_total"}}
 	nets := []struct {
 		name string
 		kind operapkg.Kind
@@ -326,57 +354,61 @@ func Fig10Mixed(opt MixedOptions) ([]Table, error) {
 		{"expander", operapkg.KindExpander},
 		{"foldedclos", operapkg.KindFoldedClos},
 	}
+	type cell struct {
+		name   string
+		kind   operapkg.Kind
+		wsLoad float64
+	}
+	var cells []cell
 	for _, n := range nets {
 		for _, wsLoad := range opt.WebsearchLoads {
-			// Mixed traffic needs per-flow tagging (bulk underlay, classified
-			// websearch on top), so it drives the cluster directly rather
-			// than through the scenario runner.
-			cl, err := operapkg.New(n.kind, scaleOptions(n.kind, opt.Scale, false)...)
-			if err != nil {
-				return nil, err
-			}
-			// Saturating bulk: every host keeps a large tagged-bulk flow
-			// to every other rack for the whole run.
-			perRack := cl.NumHosts() / cl.HostsPerRack()
-			bulkBytes := int64(float64(opt.Duration.Seconds()) * 10e9 / 8 / float64(perRack-1))
-			var bulk []workload.FlowSpec
-			for h := 0; h < cl.NumHosts(); h++ {
-				for r := 0; r < perRack; r++ {
-					if r == cl.HostRack(h) {
-						continue
-					}
-					bulk = append(bulk, workload.FlowSpec{
-						Src: h, Dst: r*cl.HostsPerRack() + h%cl.HostsPerRack(), Bytes: bulkBytes,
-					})
-				}
-			}
-			ws := workload.Poisson(workload.PoissonConfig{
-				NumHosts:     cl.NumHosts(),
-				HostsPerRack: cl.HostsPerRack(),
-				Load:         wsLoad,
-				LinkRateGbps: 10,
-				Duration:     opt.Duration,
-				Dist:         workload.Websearch(),
-				Seed:         opt.Seed,
-			})
-			for _, spec := range bulk {
-				cl.AddBulkFlow(spec) // application-tagged shuffle (§3.4)
-			}
-			cl.AddFlows(ws)
-			cl.Run(opt.Duration)
-			// Normalized throughput: bytes delivered within the run window
-			// over the aggregate host-link capacity of the same window.
-			ts := cl.Metrics().DeliveredBytes
-			var delivered float64
-			bins := int(opt.Duration.Seconds()/ts.BinWidth() + 0.5)
-			for i := 0; i < bins; i++ {
-				delivered += ts.Rate(i) * ts.BinWidth()
-			}
-			capacity := float64(cl.NumHosts()) * 10e9 / 8 * opt.Duration.Seconds()
-			t.Add(n.name, wsLoad, delivered/capacity)
+			cells = append(cells, cell{n.name, n.kind, wsLoad})
 		}
 	}
-	return []Table{t}, nil
+	scs := make([]scenario.Scenario, len(cells))
+	for i, c := range cells {
+		scs[i] = scenario.Scenario{
+			Name:    c.name,
+			Kind:    c.kind,
+			Seed:    opt.Seed,
+			Options: scaleOptions(c.kind, opt.Scale, false),
+			Workload: scenario.Merge(
+				scenario.Tag("shuffle", scenario.Bulk(rackSaturate(opt.Duration))),
+				scenario.Tag("websearch", scenario.Poisson(workload.Websearch(), c.wsLoad, opt.Duration, 0)),
+			),
+			Duration: opt.Duration,
+		}
+	}
+	// Normalized throughput needs the delivery time series, so tabulate in
+	// the per-cluster callback (distinct per-index slots, no locking).
+	delivered := make([]float64, len(cells))
+	results, err := scenario.ForEachCluster(context.Background(), scs,
+		func(i int, cl *operapkg.Cluster, _ scenario.Result) {
+			// Bytes delivered within the run window over the aggregate
+			// host-link capacity of the same window.
+			ts := cl.Metrics().DeliveredBytes
+			var sum float64
+			bins := int(opt.Duration.Seconds()/ts.BinWidth() + 0.5)
+			for b := 0; b < bins; b++ {
+				sum += ts.Rate(b) * ts.BinWidth()
+			}
+			capacity := float64(cl.NumHosts()) * 10e9 / 8 * opt.Duration.Seconds()
+			delivered[i] = sum / capacity
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		if results[i].Err != "" {
+			return nil, fmt.Errorf("%s (load %.2f): %s", c.name, c.wsLoad, results[i].Err)
+		}
+		t.Add(c.name, c.wsLoad, delivered[i])
+		for _, tag := range []string{"shuffle", "websearch"} {
+			s := results[i].ByTag[tag]
+			byTag.Add(c.name, c.wsLoad, tag, s.ThroughputGbps, s.FCT.P99Us, s.FlowsDone, s.FlowsTotal)
+		}
+	}
+	return []Table{t, byTag}, nil
 }
 
 // Fig13Prototype regenerates Figure 13's RTT distributions.

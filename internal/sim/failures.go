@@ -65,6 +65,9 @@ func (n *OperaNet) Failures() *FailureState {
 	return n.failures
 }
 
+// FaultInjector implements FaultNetwork.
+func (n *OperaNet) FaultInjector() FaultInjector { return n.Failures() }
+
 // LinkUp reports whether the rack↔switch cable is intact and both ends
 // functional.
 func (fs *FailureState) LinkUp(rack, sw int) bool {
@@ -103,6 +106,47 @@ func (fs *FailureState) FailSwitch(sw int, at eventsim.Time) {
 	fs.net.eng.At(at, func() {
 		fs.swDown[sw] = true
 		// Every ToR detects on its own uplink (signal loss, §3.5).
+		all := make([]int, fs.net.topo.NumRacks())
+		for i := range all {
+			all[i] = i
+		}
+		fs.onFailure(all)
+	})
+}
+
+// RecoverLink schedules the rack↔switch cable to come back up at the
+// given time. Both ends see the restored signal and start spreading the
+// news; distant ToRs keep routing around the link until the epidemic
+// reaches them.
+func (fs *FailureState) RecoverLink(rack, sw int, at eventsim.Time) {
+	fs.net.eng.At(at, func() {
+		fs.linkDown[rack][sw] = false
+		fs.onFailure([]int{rack})
+	})
+}
+
+// RecoverToR schedules a failed ToR to rejoin: its circuits light up
+// again and its current-slice peers detect it through fresh hellos.
+func (fs *FailureState) RecoverToR(rack int, at eventsim.Time) {
+	fs.net.eng.At(at, func() {
+		fs.torDown[rack] = false
+		sc := int(fs.net.curSlice % int64(fs.net.topo.SlicesPerCycle()))
+		detectors := []int{rack}
+		for sw := 0; sw < fs.net.topo.Uplinks(); sw++ {
+			p := fs.net.topo.SwitchMatching(sw, sc).Peer(rack)
+			if p != rack {
+				detectors = append(detectors, p)
+			}
+		}
+		fs.onFailure(detectors)
+	})
+}
+
+// RecoverSwitch schedules a failed rotor switch back into rotation; every
+// ToR sees its uplink signal return (§3.5).
+func (fs *FailureState) RecoverSwitch(sw int, at eventsim.Time) {
+	fs.net.eng.At(at, func() {
+		fs.swDown[sw] = false
 		all := make([]int, fs.net.topo.NumRacks())
 		for i := range all {
 			all[i] = i

@@ -100,6 +100,46 @@ func TestLostToDeadLinksCounted(t *testing.T) {
 	t.Logf("packets lost to dead links: %d", fs.LostToDeadLinks)
 }
 
+func TestRecoveryRestoresLinks(t *testing.T) {
+	cl, fs := failureTestbed(t)
+	fs.FailLink(3, 2, 500*eventsim.Microsecond)
+	fs.FailSwitch(1, 500*eventsim.Microsecond)
+	fs.FailToR(7, 500*eventsim.Microsecond)
+	fs.RecoverLink(3, 2, 2*eventsim.Millisecond)
+	fs.RecoverSwitch(1, 2*eventsim.Millisecond)
+	fs.RecoverToR(7, 2*eventsim.Millisecond)
+	cl.Run(1 * eventsim.Millisecond)
+	if fs.LinkUp(3, 2) || fs.LinkUp(0, 1) || fs.LinkUp(7, 0) {
+		t.Fatal("failures not in effect at 1ms")
+	}
+	// Two cycles after recovery every ToR has relearned the full topology.
+	cl.Run(2*eventsim.Millisecond + 2*1600*eventsim.Microsecond)
+	if !fs.LinkUp(3, 2) || !fs.LinkUp(0, 1) || !fs.LinkUp(7, 0) {
+		t.Fatal("recovery did not restore links")
+	}
+	informed, survivors := fs.InformedCount()
+	if survivors != 16 || informed != survivors {
+		t.Fatalf("informed=%d survivors=%d after recovery epidemic", informed, survivors)
+	}
+}
+
+func TestFlowsCompleteAcrossFailAndRecover(t *testing.T) {
+	cl, fs := failureTestbed(t)
+	fs.FailSwitch(2, 1*eventsim.Millisecond)
+	fs.RecoverSwitch(2, 4*eventsim.Millisecond)
+	n := cl.NumHosts()
+	for i := 0; i < n; i++ {
+		cl.AddFlow(workload.FlowSpec{
+			Src: i, Dst: (i + 13) % n, Bytes: 40_000,
+			Arrival: eventsim.Time(i) * 100 * eventsim.Microsecond,
+		})
+	}
+	if !cl.RunUntilDone(500 * eventsim.Millisecond) {
+		done, total := cl.Metrics().DoneCount()
+		t.Fatalf("only %d/%d flows completed across fail+recover", done, total)
+	}
+}
+
 func TestLinkUpAccessors(t *testing.T) {
 	_, fs := failureTestbed(t)
 	if !fs.LinkUp(0, 0) {

@@ -16,6 +16,11 @@ type Flow struct {
 	Size    int64 // application bytes
 	Class   Class // LowLatency (NDP) or Bulk (RotorLB / bulk-class NDP)
 
+	// Tag is an application-assigned label ("" = untagged) carried
+	// end-to-end so results can be broken down per workload component
+	// (§5.2's app-tagged shuffle vs its competing traffic).
+	Tag string
+
 	Start     eventsim.Time
 	End       eventsim.Time
 	BytesRcvd int64

@@ -46,6 +46,28 @@ type Transport interface {
 	StartFlow(f *Flow)
 }
 
+// FaultInjector schedules runtime failures (and recoveries) into a live
+// fabric — §3.6.2's failure model: links, ToRs and circuit switches go
+// down mid-run, adjacent ToRs detect, and the news spreads epidemically.
+// Fabrics that model runtime faults implement FaultNetwork; today that is
+// OperaNet (its FailureState is the injector).
+type FaultInjector interface {
+	FailLink(rack, sw int, at eventsim.Time)
+	FailToR(rack int, at eventsim.Time)
+	FailSwitch(sw int, at eventsim.Time)
+	RecoverLink(rack, sw int, at eventsim.Time)
+	RecoverToR(rack int, at eventsim.Time)
+	RecoverSwitch(sw int, at eventsim.Time)
+}
+
+// FaultNetwork is the capability interface for runtime failure injection:
+// a Network that can expose a FaultInjector over its live state.
+type FaultNetwork interface {
+	Network
+	// FaultInjector returns the fabric's failure-injection surface.
+	FaultInjector() FaultInjector
+}
+
 // BuildParams carries everything a registered architecture needs to
 // assemble itself: the shared event engine, physical constants, and the
 // sizing knobs of the root package's ClusterConfig.
@@ -123,4 +145,6 @@ var (
 	_ Network        = (*RotorNetSim)(nil)
 	_ CircuitNetwork = (*OperaNet)(nil)
 	_ CircuitNetwork = (*RotorNetSim)(nil)
+	_ FaultNetwork   = (*OperaNet)(nil)
+	_ FaultInjector  = (*FailureState)(nil)
 )

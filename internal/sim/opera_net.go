@@ -106,6 +106,9 @@ func (n *OperaNet) Hosts() []*Host { return n.hosts }
 // Topology returns the underlying Opera topology.
 func (n *OperaNet) Topology() *topology.Opera { return n.topo }
 
+// Uplinks returns the rotor-switch (uplink) count per ToR.
+func (n *OperaNet) Uplinks() int { return n.topo.Uplinks() }
+
 // Tables returns the per-slice routing tables.
 func (n *OperaNet) Tables() *routing.Tables { return n.tables }
 

@@ -7,11 +7,40 @@ import (
 )
 
 // FlowSpec is one flow to inject: source and destination hosts, size, and
-// arrival time.
+// arrival time, plus optional application metadata: a Tag carried
+// end-to-end into per-tag result breakdowns, and a Bulk marker that
+// application-tags the flow for bulk service regardless of its size
+// (§3.4's application-based tagging).
 type FlowSpec struct {
 	Src, Dst int
 	Bytes    int64
 	Arrival  eventsim.Time
+
+	// Tag labels the flow's workload component ("" = untagged).
+	Tag string
+	// Bulk forces bulk service for this flow regardless of size.
+	Bulk bool
+}
+
+// Tagged returns a copy of the specs with every Tag set to tag. The
+// input is left untouched — generators like scenario.Fixed hand out a
+// shared slice, which concurrent scenarios may be reading.
+func Tagged(tag string, specs []FlowSpec) []FlowSpec {
+	out := append([]FlowSpec(nil), specs...)
+	for i := range out {
+		out[i].Tag = tag
+	}
+	return out
+}
+
+// Bulked returns a copy of the specs with every flow application-tagged
+// as bulk; like Tagged, it never mutates its input.
+func Bulked(specs []FlowSpec) []FlowSpec {
+	out := append([]FlowSpec(nil), specs...)
+	for i := range out {
+		out[i].Bulk = true
+	}
+	return out
 }
 
 // PoissonConfig parameterizes an open-loop Poisson flow arrival process

@@ -340,6 +340,20 @@ func (c *Cluster) OperaNet() *sim.OperaNet {
 	return n
 }
 
+// Faults returns the fabric's runtime failure-injection surface, or nil
+// when the architecture does not model runtime faults (only Opera does:
+// §3.6.2's detection-and-epidemic recovery is specific to its rotor
+// fabric). Use it to schedule link/ToR/switch failures and recoveries at
+// virtual times:
+//
+//	cl.Faults().FailLink(3, 2, 500*eventsim.Microsecond)
+func (c *Cluster) Faults() sim.FaultInjector {
+	if fn, ok := c.net.(sim.FaultNetwork); ok {
+		return fn.FaultInjector()
+	}
+	return nil
+}
+
 // BulkNACKCount reports §4.2.2 NACK retransmissions observed (circuit
 // networks only).
 func (c *Cluster) BulkNACKCount() uint64 {
@@ -349,12 +363,14 @@ func (c *Cluster) BulkNACKCount() uint64 {
 	return c.lb.NACKs
 }
 
-// classify picks the service class for a flow of the given size.
-func (c *Cluster) classify(bytes int64) sim.Class {
-	if c.cfg.AppTaggedBulk {
+// classify picks the service class for a flow: bulk when the whole
+// cluster or the individual spec is application-tagged (§3.4), or when
+// the flow can amortize waiting for direct circuits (§4.1).
+func (c *Cluster) classify(spec workload.FlowSpec) sim.Class {
+	if c.cfg.AppTaggedBulk || spec.Bulk {
 		return sim.ClassBulk
 	}
-	if bytes >= c.cfg.BulkThreshold {
+	if spec.Bytes >= c.cfg.BulkThreshold {
 		return sim.ClassBulk
 	}
 	return sim.ClassLowLatency
@@ -371,6 +387,7 @@ func (c *Cluster) addFlow(spec workload.FlowSpec, class sim.Class) *sim.Flow {
 		DstRack: int32(c.HostRack(spec.Dst)),
 		Size:    spec.Bytes,
 		Class:   class,
+		Tag:     spec.Tag,
 		Start:   spec.Arrival,
 	}
 	c.registry[f.ID] = f
@@ -387,7 +404,7 @@ func (c *Cluster) addFlow(spec workload.FlowSpec, class sim.Class) *sim.Flow {
 // AddFlow registers and schedules a single flow; it starts at spec.Arrival
 // (virtual time, which must not be in the past).
 func (c *Cluster) AddFlow(spec workload.FlowSpec) *sim.Flow {
-	return c.addFlow(spec, c.classify(spec.Bytes))
+	return c.addFlow(spec, c.classify(spec))
 }
 
 // AddFlows schedules a batch of flows.

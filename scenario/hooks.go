@@ -1,0 +1,289 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	opera "github.com/opera-net/opera"
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/workload"
+)
+
+// This file is the Scenario hooks layer: workload tagging, a timed fault
+// schedule, and pluggable probes. Together they let the paper's
+// beyond-FCT experiments — §5.2's app-tagged mixed workloads and §5.5's
+// fault sweeps — be written as plain Scenario values and fanned out
+// through RunScenarios like any other sweep.
+
+// Tag wraps a Workload so every generated flow carries the given tag.
+// Tagged flows appear as a per-tag breakdown in Result.ByTag.
+func Tag(tag string, w Workload) Workload {
+	return func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
+		return workload.Tagged(tag, w(numHosts, hostsPerRack, seed))
+	}
+}
+
+// Bulk wraps a Workload so every generated flow is application-tagged for
+// bulk service regardless of its size (§3.4) — the per-flow form of
+// opera.WithAppTaggedBulk, for mixed workloads where only one component
+// is tagged.
+func Bulk(w Workload) Workload {
+	return func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
+		return workload.Bulked(w(numHosts, hostsPerRack, seed))
+	}
+}
+
+// Merge concatenates workloads into one flow list, in argument order.
+func Merge(ws ...Workload) Workload {
+	return func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
+		var out []workload.FlowSpec
+		for _, w := range ws {
+			out = append(out, w(numHosts, hostsPerRack, seed)...)
+		}
+		return out
+	}
+}
+
+// Event is one scheduled action on a running cluster: At names the virtual
+// time, Action what happens. Build Events with the At constructor:
+//
+//	scenario.At(500*eventsim.Microsecond, scenario.FailLink(3, 2))
+type Event struct {
+	At     eventsim.Time
+	Action Action
+}
+
+// At schedules an Action at the given virtual time.
+func At(t eventsim.Time, a Action) Event { return Event{At: t, Action: a} }
+
+// Action is a deferred operation on the cluster. Actions that draw
+// randomness (FailRandomLinks) use a generator derived from the
+// Scenario's seed, so a Scenario's fault schedule is as deterministic as
+// its workload.
+type Action struct {
+	name  string
+	apply func(cl *opera.Cluster, rng *rand.Rand, at eventsim.Time) error
+}
+
+func (a Action) String() string { return a.name }
+
+// faultAction wraps an injector operation with the capability check: the
+// fabric must model runtime faults (today: Opera).
+func faultAction(name string, f func(inj sim.FaultInjector, cl *opera.Cluster, rng *rand.Rand, at eventsim.Time) error) Action {
+	return Action{name: name, apply: func(cl *opera.Cluster, rng *rand.Rand, at eventsim.Time) error {
+		inj := cl.Faults()
+		if inj == nil {
+			return fmt.Errorf("scenario: %s: architecture %v does not support runtime fault injection", name, cl.Kind())
+		}
+		return f(inj, cl, rng, at)
+	}}
+}
+
+func checkRack(cl *opera.Cluster, name string, rack int) error {
+	if rack < 0 || rack >= cl.Network().NumRacks() {
+		return fmt.Errorf("scenario: %s: rack %d out of range [0,%d)", name, rack, cl.Network().NumRacks())
+	}
+	return nil
+}
+
+func checkSwitch(cl *opera.Cluster, name string, sw int) error {
+	if u, ok := cl.Network().(interface{ Uplinks() int }); ok {
+		if sw < 0 || sw >= u.Uplinks() {
+			return fmt.Errorf("scenario: %s: switch %d out of range [0,%d)", name, sw, u.Uplinks())
+		}
+	} else if sw < 0 {
+		return fmt.Errorf("scenario: %s: negative switch %d", name, sw)
+	}
+	return nil
+}
+
+// FailLink fails the rack↔switch cable.
+func FailLink(rack, sw int) Action {
+	name := fmt.Sprintf("fail-link(%d,%d)", rack, sw)
+	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := checkRack(cl, name, rack); err != nil {
+			return err
+		}
+		if err := checkSwitch(cl, name, sw); err != nil {
+			return err
+		}
+		inj.FailLink(rack, sw, at)
+		return nil
+	})
+}
+
+// FailToR fails a whole ToR: its hosts drop off and its circuits go dark.
+func FailToR(rack int) Action {
+	name := fmt.Sprintf("fail-tor(%d)", rack)
+	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := checkRack(cl, name, rack); err != nil {
+			return err
+		}
+		inj.FailToR(rack, at)
+		return nil
+	})
+}
+
+// FailSwitch fails a rotor switch entirely.
+func FailSwitch(sw int) Action {
+	name := fmt.Sprintf("fail-switch(%d)", sw)
+	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := checkSwitch(cl, name, sw); err != nil {
+			return err
+		}
+		inj.FailSwitch(sw, at)
+		return nil
+	})
+}
+
+// RecoverLink brings a failed rack↔switch cable back up.
+func RecoverLink(rack, sw int) Action {
+	name := fmt.Sprintf("recover-link(%d,%d)", rack, sw)
+	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := checkRack(cl, name, rack); err != nil {
+			return err
+		}
+		if err := checkSwitch(cl, name, sw); err != nil {
+			return err
+		}
+		inj.RecoverLink(rack, sw, at)
+		return nil
+	})
+}
+
+// RecoverToR brings a failed ToR back online.
+func RecoverToR(rack int) Action {
+	name := fmt.Sprintf("recover-tor(%d)", rack)
+	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := checkRack(cl, name, rack); err != nil {
+			return err
+		}
+		inj.RecoverToR(rack, at)
+		return nil
+	})
+}
+
+// RecoverSwitch brings a failed rotor switch back into rotation.
+func RecoverSwitch(sw int) Action {
+	name := fmt.Sprintf("recover-switch(%d)", sw)
+	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := checkSwitch(cl, name, sw); err != nil {
+			return err
+		}
+		inj.RecoverSwitch(sw, at)
+		return nil
+	})
+}
+
+// FailRandomLinks fails the given fraction of ToR↔switch cables, chosen
+// uniformly (the sampling of §5.5's link-failure sweeps) from the
+// Scenario-seeded generator: the same Scenario fails the same links.
+func FailRandomLinks(fraction float64) Action {
+	name := fmt.Sprintf("fail-random-links(%g)", fraction)
+	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, rng *rand.Rand, at eventsim.Time) error {
+		if !(fraction >= 0 && fraction <= 1) { // also rejects NaN
+			return fmt.Errorf("scenario: %s: fraction must be in [0,1]", name)
+		}
+		u, ok := cl.Network().(interface{ Uplinks() int })
+		if !ok {
+			return fmt.Errorf("scenario: %s: architecture %v does not expose uplinks", name, cl.Kind())
+		}
+		n, m := cl.Network().NumRacks(), u.Uplinks()
+		k := int(fraction*float64(n*m) + 0.5)
+		if k > n*m {
+			k = n * m
+		}
+		for _, idx := range rng.Perm(n * m)[:k] {
+			inj.FailLink(idx/m, idx%m, at)
+		}
+		return nil
+	})
+}
+
+// Probe periodically samples a running cluster into a named time-series
+// column of the Result. Build Probes with Sample.
+type Probe struct {
+	// Name labels the series in Result.Probes.
+	Name string
+	// Every is the sampling period: the probe fires at Every, 2·Every, …
+	// up to the Scenario's Duration. Zero samples exactly once, at the
+	// start of the run.
+	Every eventsim.Time
+	// Fn computes the sample. It runs inside the simulation (or, for
+	// one-shot probes, immediately before it) and must only read.
+	Fn func(cl *opera.Cluster, now eventsim.Time) float64
+}
+
+// Sample is a convenience constructor for Probe.
+//
+//	scenario.Sample("done_flows", eventsim.Millisecond,
+//		func(cl *opera.Cluster, _ eventsim.Time) float64 {
+//			done, _ := cl.Metrics().DoneCount()
+//			return float64(done)
+//		})
+func Sample(name string, every eventsim.Time, fn func(cl *opera.Cluster, now eventsim.Time) float64) Probe {
+	return Probe{Name: name, Every: every, Fn: fn}
+}
+
+// ProbeSeries is one probe's recorded samples, in firing order: sample i
+// of a periodic probe was taken at virtual time (i+1)·Every; a one-shot
+// probe (Every == 0) has a single sample from the start of the run.
+type ProbeSeries struct {
+	Name   string
+	Every  eventsim.Time
+	Values []float64
+}
+
+// eventSeedSalt decorrelates the fault-schedule generator from the
+// topology and workload generators, which consume Scenario.Seed directly.
+const eventSeedSalt = 0x5ca1ab1e
+
+// applyHooks schedules the Scenario's fault events and starts its probes
+// on a freshly built cluster. The returned series are filled in as the
+// simulation runs.
+func applyHooks(cl *opera.Cluster, sc Scenario) ([]ProbeSeries, error) {
+	if len(sc.Events) > 0 {
+		rng := rand.New(rand.NewSource(sc.Seed ^ eventSeedSalt))
+		for _, ev := range sc.Events {
+			if ev.At < 0 {
+				return nil, fmt.Errorf("scenario: event %v at negative time %v", ev.Action, ev.At)
+			}
+			if ev.Action.apply == nil {
+				return nil, fmt.Errorf("scenario: event at %v has no action", ev.At)
+			}
+			if err := ev.Action.apply(cl, rng, ev.At); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(sc.Probes) == 0 {
+		return nil, nil
+	}
+	series := make([]ProbeSeries, len(sc.Probes))
+	for i, p := range sc.Probes {
+		if p.Fn == nil {
+			return nil, fmt.Errorf("scenario: probe %q has no sample function", p.Name)
+		}
+		series[i] = ProbeSeries{Name: p.Name, Every: p.Every}
+		if p.Every == 0 {
+			series[i].Values = []float64{p.Fn(cl, cl.Engine().Now())}
+			continue
+		}
+		if p.Every < 0 {
+			return nil, fmt.Errorf("scenario: probe %q has negative period %v", p.Name, p.Every)
+		}
+		i, p := i, p
+		var tick func()
+		tick = func() {
+			series[i].Values = append(series[i].Values, p.Fn(cl, cl.Engine().Now()))
+			if next := cl.Engine().Now() + p.Every; next <= sc.Duration {
+				cl.Engine().At(next, tick)
+			}
+		}
+		if p.Every <= sc.Duration {
+			cl.Engine().At(p.Every, tick)
+		}
+	}
+	return series, nil
+}

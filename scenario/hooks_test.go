@@ -1,0 +1,239 @@
+package scenario_test
+
+import (
+	"context"
+	"testing"
+
+	opera "github.com/opera-net/opera"
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/workload"
+	"github.com/opera-net/opera/scenario"
+)
+
+// hookSweep is a batch exercising every hook at once: tagged mixed
+// workloads, a fault-and-recovery schedule (Opera only — the injector is
+// rotor-specific), and periodic plus one-shot probes.
+func hookSweep() []scenario.Scenario {
+	var scs []scenario.Scenario
+	for _, seed := range []int64{1, 2, 3} {
+		scs = append(scs, scenario.Scenario{
+			Name: "opera-hooks",
+			Kind: opera.KindOpera,
+			Seed: seed,
+			Options: []opera.Option{
+				opera.WithBulkThreshold(20_000),
+			},
+			Workload: scenario.Merge(
+				scenario.Tag("east", scenario.ShuffleN(10, 25_000, eventsim.Millisecond)),
+				scenario.Tag("west", scenario.Bulk(scenario.ShuffleN(4, 10_000, eventsim.Millisecond))),
+			),
+			Events: []scenario.Event{
+				scenario.At(200*eventsim.Microsecond, scenario.FailLink(3, 2)),
+				scenario.At(500*eventsim.Microsecond, scenario.FailRandomLinks(0.05)),
+				scenario.At(2*eventsim.Millisecond, scenario.RecoverLink(3, 2)),
+				scenario.At(3*eventsim.Millisecond, scenario.FailSwitch(1)),
+				scenario.At(6*eventsim.Millisecond, scenario.RecoverSwitch(1)),
+			},
+			Probes: []scenario.Probe{
+				scenario.Sample("done_flows", eventsim.Millisecond,
+					func(cl *opera.Cluster, _ eventsim.Time) float64 {
+						done, _ := cl.Metrics().DoneCount()
+						return float64(done)
+					}),
+				scenario.Sample("hosts", 0,
+					func(cl *opera.Cluster, _ eventsim.Time) float64 {
+						return float64(cl.NumHosts())
+					}),
+			},
+			Duration: 4000 * eventsim.Millisecond,
+		})
+	}
+	// An untagged, unhooked scenario rides along to cover the nil cases.
+	scs = append(scs, scenario.Scenario{
+		Name:     "expander-plain",
+		Kind:     opera.KindExpander,
+		Seed:     1,
+		Workload: scenario.ShuffleN(8, 25_000, eventsim.Millisecond),
+		Duration: 4000 * eventsim.Millisecond,
+	})
+	return scs
+}
+
+// Hooks must not break the runner's core guarantee: the same Scenario —
+// workload, fault schedule, probes and all — produces a byte-identical
+// Result at any parallelism.
+func TestHookDeterminismUnderParallelism(t *testing.T) {
+	scs := hookSweep()
+	sequential, err := scenario.RunScenarios(context.Background(), scs, scenario.Parallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := scenario.RunScenarios(context.Background(), scs, scenario.Parallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scs {
+		if sequential[i].Err != "" {
+			t.Fatalf("scenario %d (%s): %s", i, scs[i].Name, sequential[i].Err)
+		}
+		if !sequential[i].Equal(parallel[i]) {
+			t.Errorf("scenario %d (%s seed %d): results diverge\n sequential: %+v\n parallel:   %+v",
+				i, scs[i].Name, scs[i].Seed, sequential[i], parallel[i])
+		}
+		if !sequential[i].Completed {
+			t.Errorf("scenario %d (%s): incomplete (%d/%d flows)",
+				i, scs[i].Name, sequential[i].FlowsDone, sequential[i].FlowsTotal)
+		}
+	}
+}
+
+// Tagged workloads break down into per-tag stats that add up.
+func TestTagBreakdown(t *testing.T) {
+	res := scenario.Run(hookSweep()[0])
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	east, west := res.ByTag["east"], res.ByTag["west"]
+	if east.FlowsTotal != 10*9 || west.FlowsTotal != 4*3 {
+		t.Fatalf("tag totals east=%d west=%d, want 90 and 12", east.FlowsTotal, west.FlowsTotal)
+	}
+	if east.FlowsDone+west.FlowsDone != res.FlowsDone {
+		t.Fatalf("tag done %d+%d != total done %d", east.FlowsDone, west.FlowsDone, res.FlowsDone)
+	}
+	if east.FCT.N != east.FlowsDone || east.FCT.P99Us <= 0 {
+		t.Fatalf("east FCT stats implausible: %+v", east.FCT)
+	}
+	if east.ThroughputGbps <= 0 || west.ThroughputGbps <= 0 {
+		t.Fatalf("tag throughputs: east=%g west=%g", east.ThroughputGbps, west.ThroughputGbps)
+	}
+	if res.ByTag["missing"] != (scenario.TagStats{}) {
+		t.Fatal("unknown tag should read as zero")
+	}
+}
+
+// The untagged scenario keeps ByTag nil so Results stay compact.
+func TestUntaggedWorkloadHasNilByTag(t *testing.T) {
+	scs := hookSweep()
+	res := scenario.Run(scs[len(scs)-1])
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	if res.ByTag != nil {
+		t.Fatalf("ByTag = %v, want nil", res.ByTag)
+	}
+	if res.Probes != nil {
+		t.Fatalf("Probes = %v, want nil", res.Probes)
+	}
+}
+
+// Probes record: periodic series grow monotonically with the flow count,
+// one-shot probes sample exactly once at the start.
+func TestProbes(t *testing.T) {
+	res := scenario.Run(hookSweep()[0])
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	if len(res.Probes) != 2 {
+		t.Fatalf("probes = %d, want 2", len(res.Probes))
+	}
+	done := res.Probes[0]
+	if done.Name != "done_flows" || done.Every != eventsim.Millisecond {
+		t.Fatalf("series 0 = %+v", done)
+	}
+	if len(done.Values) < 2 {
+		t.Fatalf("periodic probe recorded %d samples", len(done.Values))
+	}
+	for i := 1; i < len(done.Values); i++ {
+		if done.Values[i] < done.Values[i-1] {
+			t.Fatalf("done-flow series decreases at %d: %v", i, done.Values)
+		}
+	}
+	hosts := res.Probes[1]
+	if len(hosts.Values) != 1 || hosts.Values[0] != 64 {
+		t.Fatalf("one-shot probe = %+v, want one sample of 64", hosts)
+	}
+}
+
+// Two scenarios tagging the same shared Fixed workload must not bleed
+// tags into each other (Tag copies; the shared slice is read-only even
+// under parallel execution).
+func TestTagOverSharedFixedWorkload(t *testing.T) {
+	specs := workload.Shuffle(8, 25_000, eventsim.Millisecond, 1)
+	shared := scenario.Fixed(specs)
+	mk := func(tag string) scenario.Scenario {
+		return scenario.Scenario{
+			Name: tag, Kind: opera.KindOpera, Seed: 1,
+			Workload: scenario.Tag(tag, shared),
+			Duration: 4000 * eventsim.Millisecond,
+		}
+	}
+	results, err := scenario.RunScenarios(context.Background(),
+		[]scenario.Scenario{mk("a"), mk("b")}, scenario.Parallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tag := range []string{"a", "b"} {
+		if results[i].Err != "" {
+			t.Fatal(results[i].Err)
+		}
+		if got := results[i].ByTag[tag].FlowsTotal; got != len(specs) {
+			t.Errorf("scenario %q: tagged %d/%d flows", tag, got, len(specs))
+		}
+		if len(results[i].ByTag) != 1 {
+			t.Errorf("scenario %q: tags bled across scenarios: %v", tag, results[i].ByTag)
+		}
+	}
+	for _, s := range specs {
+		if s.Tag != "" {
+			t.Fatalf("shared workload slice mutated: %+v", s)
+		}
+	}
+}
+
+// A fault schedule on a fabric without runtime fault support surfaces as
+// Result.Err, not a panic or a silent no-op.
+func TestFaultScheduleUnsupportedKind(t *testing.T) {
+	res := scenario.Run(scenario.Scenario{
+		Name:     "expander-faults",
+		Kind:     opera.KindExpander,
+		Seed:     1,
+		Events:   []scenario.Event{scenario.At(0, scenario.FailLink(0, 0))},
+		Duration: eventsim.Millisecond,
+	})
+	if res.Err == "" {
+		t.Fatal("expected Err for fault schedule on expander")
+	}
+}
+
+// Out-of-range fault targets are rejected at scheduling time.
+func TestFaultScheduleValidation(t *testing.T) {
+	for _, ev := range []scenario.Event{
+		scenario.At(0, scenario.FailLink(99, 0)),
+		scenario.At(0, scenario.FailLink(0, 99)),
+		scenario.At(0, scenario.FailToR(-1)),
+		scenario.At(-eventsim.Millisecond, scenario.FailSwitch(0)),
+		scenario.At(0, scenario.FailRandomLinks(-0.1)),
+		scenario.At(0, scenario.FailRandomLinks(1.5)),
+	} {
+		res := scenario.Run(scenario.Scenario{
+			Name: "bad", Kind: opera.KindOpera, Seed: 1,
+			Events: []scenario.Event{ev}, Duration: eventsim.Millisecond,
+		})
+		if res.Err == "" {
+			t.Errorf("event %+v: expected validation error", ev)
+		}
+	}
+}
+
+// Flows route around an injected failure and finish after recovery — the
+// §3.6.2 behavior the schedule exists to exercise.
+func TestFaultInjectionFlowsComplete(t *testing.T) {
+	sc := hookSweep()[0]
+	res := scenario.Run(sc)
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	if !res.Completed || res.FlowsDone != res.FlowsTotal {
+		t.Fatalf("faulted run incomplete: %d/%d", res.FlowsDone, res.FlowsTotal)
+	}
+}

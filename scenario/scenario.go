@@ -19,9 +19,12 @@
 package scenario
 
 import (
+	"reflect"
+
 	opera "github.com/opera-net/opera"
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/stats"
 	"github.com/opera-net/opera/internal/workload"
 )
 
@@ -80,7 +83,8 @@ func Fixed(flows []workload.FlowSpec) Workload {
 }
 
 // Scenario is one self-contained simulation: an architecture, its sizing
-// options, a workload and a deadline.
+// options, a workload and a deadline — plus optional hooks: a timed fault
+// schedule (Events) and sampling probes (Probes).
 type Scenario struct {
 	// Name labels the scenario in its Result.
 	Name string
@@ -88,12 +92,22 @@ type Scenario struct {
 	// WithSeed(Seed), so an explicit WithSeed among Options wins).
 	Kind    opera.Kind
 	Options []opera.Option
-	// Workload generates the flow list; nil means no flows.
+	// Workload generates the flow list; nil means no flows. Tagged flows
+	// (see Tag) produce per-tag breakdowns in Result.ByTag.
 	Workload Workload
+	// Events schedules mid-run actions — fault injection and recovery —
+	// at fixed virtual times (see At, FailLink, FailSwitch, RecoverLink).
+	// Random actions draw from a generator derived from Seed, so the
+	// schedule is as deterministic as the workload.
+	Events []Event
+	// Probes sample the running cluster into Result.Probes time series
+	// (see Sample).
+	Probes []Probe
 	// Duration is the RunUntilDone deadline in virtual time; the run ends
 	// earlier once every flow completes or the event queue drains.
 	Duration eventsim.Time
-	// Seed seeds the cluster topology and the workload generator.
+	// Seed seeds the cluster topology, the workload generator, and the
+	// fault schedule's randomness.
 	Seed int64
 }
 
@@ -111,9 +125,22 @@ func fctStats(m *sim.Metrics, filter func(*sim.Flow) bool) FCTStats {
 	return FCTStats{N: s.N(), MeanUs: s.Mean(), P50Us: s.Median(), P99Us: s.P99(), MaxUs: s.Max()}
 }
 
-// Result reports one finished Scenario. It is a comparable value:
-// RunScenarios at any Parallelism yields identical Results for identical
-// Scenarios, which tests assert with ==.
+// TagStats summarizes one workload tag's flows: completion counts, FCTs
+// of the finished ones, and delivered application bandwidth over the
+// virtual time simulated.
+type TagStats struct {
+	FlowsDone  int
+	FlowsTotal int
+	FCT        FCTStats
+	// ThroughputGbps is the tag's delivered application bandwidth over
+	// the virtual time actually simulated.
+	ThroughputGbps float64
+}
+
+// Result reports one finished Scenario. It is a pure function of the
+// Scenario value: RunScenarios at any Parallelism yields identical
+// Results for identical Scenarios, which tests assert with Equal (the
+// ByTag and Probes fields make Result non-comparable with ==).
 type Result struct {
 	Name string
 	Kind opera.Kind
@@ -128,6 +155,14 @@ type Result struct {
 	// overall and per service class.
 	All, LowLat, Bulk FCTStats
 
+	// ByTag breaks flows down by workload tag (see Tag); nil when the
+	// workload is untagged.
+	ByTag map[string]TagStats
+
+	// Probes holds one recorded series per Scenario probe, in Probes
+	// order; nil when the Scenario has none.
+	Probes []ProbeSeries
+
 	// ThroughputGbps is delivered application bandwidth over the virtual
 	// time actually simulated.
 	ThroughputGbps float64
@@ -139,10 +174,16 @@ type Result struct {
 	// SimEvents counts discrete events executed.
 	SimEvents uint64
 
-	// Err is non-empty when the cluster could not be built or the run was
-	// cancelled; all measurement fields are then zero.
+	// Err is non-empty when the cluster could not be built, a hook could
+	// not be scheduled, or the run was cancelled; all measurement fields
+	// are then zero.
 	Err string
 }
+
+// Equal reports whether two Results are identical, including per-tag
+// breakdowns and probe series — the determinism relation RunScenarios
+// guarantees across Parallelism settings.
+func (r Result) Equal(o Result) bool { return reflect.DeepEqual(r, o) }
 
 // Collect runs one Scenario and returns the finished cluster alongside its
 // Result, for callers that need raw flows or time series beyond the
@@ -160,21 +201,71 @@ func Collect(sc Scenario) (*opera.Cluster, Result) {
 	if sc.Workload != nil {
 		cl.AddFlows(sc.Workload(cl.NumHosts(), cl.HostsPerRack(), sc.Seed))
 	}
+	probes, err := applyHooks(cl, sc)
+	if err != nil {
+		res.Err = err.Error()
+		return nil, res
+	}
 	res.Completed = cl.RunUntilDone(sc.Duration)
 	cl.Stop()
 
 	m := cl.Metrics()
+	elapsed := cl.Engine().Now().Seconds()
 	res.FlowsDone, res.FlowsTotal = m.DoneCount()
 	res.All = fctStats(m, func(f *sim.Flow) bool { return f.Done })
 	res.LowLat = fctStats(m, func(f *sim.Flow) bool { return f.Done && f.Class == sim.ClassLowLatency })
 	res.Bulk = fctStats(m, func(f *sim.Flow) bool { return f.Done && f.Class == sim.ClassBulk })
-	if elapsed := cl.Engine().Now().Seconds(); elapsed > 0 {
+	if elapsed > 0 {
 		res.ThroughputGbps = m.DeliveredBytes.Total() * 8 / elapsed / 1e9
 	}
+	res.ByTag = tagBreakdown(m, elapsed)
+	res.Probes = probes
 	res.AggregateTax = m.AggregateTax()
 	res.BulkNACKs = cl.BulkNACKCount()
 	res.SimEvents = cl.Engine().Steps()
 	return cl, res
+}
+
+// tagBreakdown groups flow outcomes by workload tag in one pass; nil when
+// no flow is tagged.
+func tagBreakdown(m *sim.Metrics, elapsedSeconds float64) map[string]TagStats {
+	type tally struct {
+		fct         stats.Sample
+		done, total int
+		bytesRcvd   int64
+	}
+	tallies := make(map[string]*tally)
+	for _, f := range m.Flows() {
+		if f.Tag == "" {
+			continue
+		}
+		t := tallies[f.Tag]
+		if t == nil {
+			t = &tally{}
+			tallies[f.Tag] = t
+		}
+		t.total++
+		t.bytesRcvd += f.BytesRcvd
+		if f.Done {
+			t.done++
+			t.fct.Add(f.FCT().Micros())
+		}
+	}
+	if len(tallies) == 0 {
+		return nil
+	}
+	out := make(map[string]TagStats, len(tallies))
+	for tag, t := range tallies {
+		ts := TagStats{FlowsDone: t.done, FlowsTotal: t.total}
+		if t.fct.N() > 0 {
+			ts.FCT = FCTStats{N: t.fct.N(), MeanUs: t.fct.Mean(), P50Us: t.fct.Median(), P99Us: t.fct.P99(), MaxUs: t.fct.Max()}
+		}
+		if elapsedSeconds > 0 {
+			ts.ThroughputGbps = float64(t.bytesRcvd) * 8 / elapsedSeconds / 1e9
+		}
+		out[tag] = ts
+	}
+	return out
 }
 
 // Run executes one Scenario and returns its Result.

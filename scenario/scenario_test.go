@@ -48,7 +48,7 @@ func TestRunScenariosDeterministicUnderParallelism(t *testing.T) {
 		t.Fatalf("result counts: sequential=%d parallel=%d want %d", len(sequential), len(parallel), len(scs))
 	}
 	for i := range scs {
-		if sequential[i] != parallel[i] {
+		if !sequential[i].Equal(parallel[i]) {
 			t.Errorf("scenario %d (%s seed %d): results diverge\n sequential: %+v\n parallel:   %+v",
 				i, scs[i].Name, scs[i].Seed, sequential[i], parallel[i])
 		}
@@ -74,7 +74,7 @@ func TestRunIsDeterministicPerSeed(t *testing.T) {
 	}
 	a := scenario.Run(sc)
 	b := scenario.Run(sc)
-	if a != b {
+	if !a.Equal(b) {
 		t.Fatalf("same scenario, different results:\n a: %+v\n b: %+v", a, b)
 	}
 	if a.Err != "" || !a.Completed {
