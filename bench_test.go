@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"testing"
 
+	opera "github.com/opera-net/opera"
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/experiments"
 	"github.com/opera-net/opera/internal/prototype"
@@ -219,6 +220,38 @@ func BenchmarkTable2CostModel(b *testing.B) {
 		alpha = 1.279
 	}
 	b.ReportMetric(alpha, "alpha")
+}
+
+// BenchmarkSourceSteadyState is the profiling baseline for Source-driven
+// open-loop runs: a small Opera cluster under a steady lazily-pumped
+// Poisson stream of fixed 1500 B flows (staggered arrivals by
+// construction; no shuffle). It reports flows simulated per wall-second.
+func BenchmarkSourceSteadyState(b *testing.B) {
+	var flows, events float64
+	for i := 0; i < b.N; i++ {
+		cl, err := opera.New(opera.KindOpera)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl.AddSource(workload.PoissonSource(workload.PoissonConfig{
+			NumHosts:     cl.NumHosts(),
+			HostsPerRack: cl.HostsPerRack(),
+			Load:         0.02,
+			LinkRateGbps: 10,
+			Duration:     10 * eventsim.Millisecond,
+			Dist:         workload.Fixed(1500),
+			Seed:         1,
+		}))
+		if !cl.RunUntilDone(100 * eventsim.Millisecond) {
+			b.Fatal("steady-state run incomplete")
+		}
+		cl.Stop()
+		_, total := cl.Metrics().DoneCount()
+		flows = float64(total)
+		events = float64(cl.Engine().Steps())
+	}
+	b.ReportMetric(flows, "flows/op")
+	b.ReportMetric(events, "sim-events/op")
 }
 
 // Ablation benches: the design choices DESIGN.md calls out.

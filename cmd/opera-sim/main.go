@@ -1,12 +1,16 @@
 // Command opera-sim runs a single packet-level simulation scenario and
 // prints flow-completion statistics — a workbench for exploring the
-// architectures interactively.
+// architectures interactively. Open-loop workloads stream lazily through
+// the Source API, so long windows and high loads never materialize a
+// flow list.
 //
 // Examples:
 //
 //	opera-sim -network opera -workload datamining -load 0.25 -duration 20ms
 //	opera-sim -network foldedclos -workload shuffle -flowbytes 100000
 //	opera-sim -network rotornet -workload websearch -load 0.05
+//	opera-sim -network opera -workload mix -load 0.2 -arrivals 5000
+//	opera-sim -network opera -trace flows.txt
 //	opera-sim -network opera -workload shuffle -tag shuffle \
 //	    -fail-at 500us:link:3:2,2ms:recover-link:3:2
 package main
@@ -105,8 +109,10 @@ func parseFaultSchedule(s string) ([]scenario.Event, error) {
 
 func main() {
 	network := flag.String("network", "opera", "opera | expander | foldedclos | rotornet | rotornet-hybrid")
-	wl := flag.String("workload", "datamining", "datamining | websearch | hadoop | shuffle | permutation | hotrack")
+	wl := flag.String("workload", "datamining", "datamining | websearch | hadoop | mix | incast | shuffle | permutation | hotrack")
 	load := flag.Float64("load", 0.10, "offered load fraction (Poisson workloads)")
+	arrivals := flag.Int("arrivals", 0, "cap on open-loop flow arrivals (0 = window-bound only)")
+	tracePath := flag.String("trace", "", "replay a flow trace file (arrival_ns src dst bytes [tag] [bulk] per line); overrides -workload")
 	duration := flag.Duration("duration", 20*time.Millisecond, "arrival window (virtual time)")
 	racks := flag.Int("racks", 16, "racks (Opera/RotorNet/expander)")
 	hostsPerRack := flag.Int("hosts-per-rack", 4, "hosts per rack")
@@ -136,30 +142,74 @@ func main() {
 	}
 
 	dur := eventsim.Time(duration.Nanoseconds())
-	var gen scenario.Workload
-	switch *wl {
-	case "datamining":
+	var gen scenario.Source
+	var replay *workload.ReplaySource
+	var replayRangeErr error
+	switch {
+	case *tracePath != "":
+		rs, closer, err := workload.ReplayFile(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer closer.Close()
+		replay = rs
+		// The parser can't know the cluster size; bound-check against the
+		// built cluster so a stray host index is a diagnostic, not a panic.
+		gen = func(env scenario.Env) workload.Source {
+			return workload.SourceFunc(func() (workload.FlowSpec, bool) {
+				spec, ok := rs.Next()
+				if ok && (spec.Src >= env.NumHosts || spec.Dst >= env.NumHosts) {
+					replayRangeErr = fmt.Errorf("trace flow %d->%d outside cluster with %d hosts", spec.Src, spec.Dst, env.NumHosts)
+					return workload.FlowSpec{}, false
+				}
+				return spec, ok
+			})
+		}
+		*wl = "trace:" + *tracePath
+	case *wl == "datamining":
 		gen = scenario.Poisson(workload.Datamining(), *load, dur, *maxFlow)
-	case "websearch":
+	case *wl == "websearch":
 		gen = scenario.Poisson(workload.Websearch(), *load, dur, *maxFlow)
-	case "hadoop":
+	case *wl == "hadoop":
 		gen = scenario.Poisson(workload.Hadoop(), *load, dur, *maxFlow)
-	case "shuffle":
-		gen = scenario.Shuffle(*flowBytes, 0)
-	case "permutation":
-		gen = func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
+	case *wl == "mix":
+		// The §5.2 blend: latency-sensitive websearch over a bulk-tagged
+		// datamining component, one open-loop arrival process.
+		gen = func(env scenario.Env) workload.Source {
+			return workload.Mix(workload.PoissonConfig{
+				NumHosts:     env.NumHosts,
+				HostsPerRack: env.HostsPerRack,
+				Load:         *load,
+				LinkRateGbps: env.LinkRateGbps,
+				Duration:     dur,
+				Seed:         env.Seed,
+			},
+				workload.MixComponent{Dist: workload.Websearch(), Weight: 0.5, Tag: "websearch", MaxFlowBytes: *maxFlow},
+				workload.MixComponent{Dist: workload.Datamining(), Weight: 0.5, Tag: "datamining", Bulk: true, MaxFlowBytes: *maxFlow},
+			)
+		}
+	case *wl == "incast":
+		gen = scenario.Incast(8, *flowBytes, dur/10, 10)
+	case *wl == "shuffle":
+		gen = scenario.Adapt(scenario.Shuffle(*flowBytes, 0))
+	case *wl == "permutation":
+		gen = scenario.Adapt(func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
 			return workload.Permutation(numHosts, hostsPerRack, *flowBytes, seed)
-		}
-	case "hotrack":
-		gen = func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
+		})
+	case *wl == "hotrack":
+		gen = scenario.Adapt(func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
 			return workload.HotRack(hostsPerRack, *flowBytes)
-		}
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
 		os.Exit(2)
 	}
+	if *arrivals > 0 {
+		gen = scenario.Take(gen, *arrivals)
+	}
 	if *tagName != "" {
-		gen = scenario.Tag(*tagName, gen)
+		gen = scenario.TagSource(*tagName, gen)
 	}
 
 	sc := scenario.Scenario{
@@ -175,7 +225,7 @@ func main() {
 			// them so Opera serves them on direct circuits regardless of size.
 			opera.WithAppTaggedBulk(*wl == "shuffle" || *wl == "hotrack" || *wl == "permutation"),
 		},
-		Workload: gen,
+		Sources:  []scenario.Source{gen},
 		Events:   events,
 		Duration: dur * eventsim.Time(*drain),
 	}
@@ -185,6 +235,14 @@ func main() {
 	wall := time.Since(start)
 	if res.Err != "" {
 		fmt.Fprintln(os.Stderr, res.Err)
+		os.Exit(1)
+	}
+	if replay != nil && replay.Err() != nil {
+		fmt.Fprintln(os.Stderr, replay.Err())
+		os.Exit(1)
+	}
+	if replayRangeErr != nil {
+		fmt.Fprintln(os.Stderr, replayRangeErr)
 		os.Exit(1)
 	}
 

@@ -42,8 +42,9 @@ func main() {
 				opera.WithSeed(1),
 			},
 			// Cap the extreme tail (up to 1 GB) so the example runs in
-			// seconds; the shape of the comparison is unchanged.
-			Workload: scenario.Poisson(dist, load, duration, 30_000_000),
+			// seconds; the shape of the comparison is unchanged. The source
+			// streams arrivals lazily — nothing is materialized up front.
+			Sources:  []scenario.Source{scenario.Poisson(dist, load, duration, 30_000_000)},
 			Duration: duration * 100,
 		})
 	}

@@ -42,7 +42,7 @@ func main() {
 					opera.WithClos(8, 3),
 					opera.WithSeed(1),
 				},
-				Workload: scenario.Poisson(workload.Websearch(), load, duration, 0),
+				Sources:  []scenario.Source{scenario.Poisson(workload.Websearch(), load, duration, 0)},
 				Duration: duration * 20,
 			})
 		}

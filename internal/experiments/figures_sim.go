@@ -106,11 +106,13 @@ func runPoissonFCT(t *Table, cells []poissonCell, opt SimOptions, dist *workload
 	scs := make([]scenario.Scenario, len(cells))
 	for i, c := range cells {
 		scs[i] = scenario.Scenario{
-			Name:     c.name,
-			Kind:     c.kind,
-			Seed:     opt.Seed, // seeds the workload; cluster seed below
-			Options:  scaleOptions(c.kind, opt.Scale, false),
-			Workload: scenario.Poisson(dist, c.load, opt.Duration, opt.MaxFlowBytes),
+			Name:    c.name,
+			Kind:    c.kind,
+			Seed:    opt.Seed, // seeds the workload; cluster seed below
+			Options: scaleOptions(c.kind, opt.Scale, false),
+			// Streamed open-loop arrivals: the sweep never materializes a
+			// flow list, so paper-scale load points stay O(active flows).
+			Sources:  []scenario.Source{scenario.Poisson(dist, c.load, opt.Duration, opt.MaxFlowBytes)},
 			Duration: opt.Duration * eventsim.Time(opt.DrainFactor),
 		}
 	}
@@ -258,7 +260,7 @@ func Fig08Shuffle(opt ShuffleOptions) ([]Table, error) {
 			Kind:     n.kind,
 			Seed:     opt.Seed,
 			Options:  scaleOptions(n.kind, opt.Scale, n.appTagged),
-			Workload: scenario.ShuffleN(opt.Participants, opt.FlowBytes, n.stagger),
+			Sources:  []scenario.Source{scenario.Adapt(scenario.ShuffleN(opt.Participants, opt.FlowBytes, n.stagger))},
 			Duration: opt.Deadline,
 		}
 	}
@@ -372,10 +374,10 @@ func Fig10Mixed(opt MixedOptions) ([]Table, error) {
 			Kind:    c.kind,
 			Seed:    opt.Seed,
 			Options: scaleOptions(c.kind, opt.Scale, false),
-			Workload: scenario.Merge(
-				scenario.Tag("shuffle", scenario.Bulk(rackSaturate(opt.Duration))),
-				scenario.Tag("websearch", scenario.Poisson(workload.Websearch(), c.wsLoad, opt.Duration, 0)),
-			),
+			Sources: []scenario.Source{
+				scenario.TagSource("shuffle", scenario.BulkSource(scenario.Adapt(rackSaturate(opt.Duration)))),
+				scenario.TagSource("websearch", scenario.Poisson(workload.Websearch(), c.wsLoad, opt.Duration, 0)),
+			},
 			Duration: opt.Duration,
 		}
 	}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/opera-net/opera/internal/eventsim"
+)
+
+// drainNode releases everything it receives — a pure sink for hot-path
+// benchmarks.
+type drainNode struct{}
+
+func (drainNode) Receive(p *Packet, _ *Port) { p.Release() }
+
+// BenchmarkPortEnqueue measures the packet hot path the ROADMAP wants
+// profiled: Enqueue (classify, queue, kick) plus the serialize/propagate
+// event chain, one MTU packet per iteration through an uncontended port.
+func BenchmarkPortEnqueue(b *testing.B) {
+	eng := eventsim.New()
+	cfg := DefaultConfig()
+	pt := NewPort(eng, &cfg, "bench", drainNode{})
+	step := cfg.SerializationDelay(cfg.MTU) + cfg.PropDelay
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPacket()
+		p.Kind = KindData
+		p.Class = ClassLowLatency
+		p.Size = int32(cfg.MTU)
+		p.PayloadSize = int32(cfg.MTU)
+		pt.Enqueue(p)
+		eng.RunUntil(eng.Now() + step)
+	}
+}
+
+// BenchmarkPortEnqueueBacklogged measures the same path with the queue
+// non-empty, so every transmit completion immediately picks a successor —
+// the steady-state shape of a loaded port.
+func BenchmarkPortEnqueueBacklogged(b *testing.B) {
+	eng := eventsim.New()
+	cfg := DefaultConfig()
+	pt := NewPort(eng, &cfg, "bench", drainNode{})
+	step := cfg.SerializationDelay(cfg.MTU) + cfg.PropDelay
+	// Keep ~4 packets of standing backlog (within the 12 KB data bound).
+	for i := 0; i < 4; i++ {
+		p := NewPacket()
+		p.Kind = KindData
+		p.Class = ClassLowLatency
+		p.Size = int32(cfg.MTU)
+		p.PayloadSize = int32(cfg.MTU)
+		pt.Enqueue(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPacket()
+		p.Kind = KindData
+		p.Class = ClassLowLatency
+		p.Size = int32(cfg.MTU)
+		p.PayloadSize = int32(cfg.MTU)
+		pt.Enqueue(p)
+		eng.RunUntil(eng.Now() + step)
+	}
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/routing"
+)
+
+// This file brings runtime link and ToR failures to the static expander —
+// the first FaultInjector beyond Opera's rotor fabric, so fault scenarios
+// (scenario.At(t, FailLink…)) run on the baselines too.
+//
+// The failure model is simpler than Opera's §3.6.2 epidemic: a static
+// fabric's ToRs sit on an always-on packet network, where link-state
+// flooding converges within a handful of RTTs — far below this
+// simulator's 100 µs observation granularity — so recomputation is
+// modelled as instant. Concretely, when a cable fails:
+//
+//   - every ToR immediately routes around it (the shared shortest-path
+//     tables are rebuilt against the surviving topology);
+//   - packets queued on the dead cable are lost (bulk-class NDP data
+//     takes the usual drop path; NDP's trimming/RTO machinery
+//     retransmits what was lost);
+//   - a transmission already on the wire still delivers.
+//
+// ToR failures are modelled as all of the ToR's fabric cables going dark.
+// Switch failures have no referent here — the expander has no fabric
+// switches — so FailSwitch/RecoverSwitch are documented no-ops.
+
+// ExpanderFaults implements FaultInjector for ExpanderNet. The "switch"
+// coordinate of FailLink names the ToR's neighbor slot: FailLink(r, i)
+// cuts the cable between rack r and its i-th expander neighbor (both
+// directions — it is one physical cable).
+type ExpanderFaults struct {
+	net *ExpanderNet
+
+	linkDown [][]bool // [rack][neighbor slot], marked symmetrically
+	torDown  []bool
+
+	// LostToFailedLinks counts control/low-latency packets dropped from
+	// failed cables' queues (bulk-class drops land in PortStats.BulkDrop).
+	LostToFailedLinks uint64
+}
+
+func newExpanderFaults(n *ExpanderNet) *ExpanderFaults {
+	ef := &ExpanderFaults{net: n}
+	ef.linkDown = make([][]bool, n.topo.NumRacks)
+	for r := range ef.linkDown {
+		ef.linkDown[r] = make([]bool, len(n.topo.G.Neighbors(r)))
+	}
+	ef.torDown = make([]bool, n.topo.NumRacks)
+	return ef
+}
+
+// Faults returns the network's failure state, creating it lazily.
+func (n *ExpanderNet) Faults() *ExpanderFaults {
+	if n.faults == nil {
+		n.faults = newExpanderFaults(n)
+	}
+	return n.faults
+}
+
+// FaultInjector implements FaultNetwork.
+func (n *ExpanderNet) FaultInjector() FaultInjector { return n.Faults() }
+
+// Uplinks returns the fabric degree u — the number of neighbor slots the
+// FailLink switch coordinate ranges over.
+func (n *ExpanderNet) Uplinks() int { return n.topo.Degree }
+
+// LinkUp reports whether rack's i-th fabric cable is intact and both end
+// ToRs are alive.
+func (ef *ExpanderFaults) LinkUp(rack, slot int) bool {
+	peer := int(ef.net.topo.G.Neighbors(rack)[slot])
+	return !ef.linkDown[rack][slot] && !ef.torDown[rack] && !ef.torDown[peer]
+}
+
+// peerSlot finds the reverse slot: the index of rack in peer's neighbor
+// list (the graph is simple, so it is unique).
+func (ef *ExpanderFaults) peerSlot(rack, slot int) (peer, rev int) {
+	peer = int(ef.net.topo.G.Neighbors(rack)[slot])
+	for j, nb := range ef.net.topo.G.Neighbors(peer) {
+		if int(nb) == rack {
+			return peer, j
+		}
+	}
+	panic("sim: expander neighbor lists asymmetric")
+}
+
+// FailLink schedules the rack↔neighbor-slot cable to fail at the given
+// time.
+func (ef *ExpanderFaults) FailLink(rack, slot int, at eventsim.Time) {
+	ef.net.eng.At(at, func() {
+		peer, rev := ef.peerSlot(rack, slot)
+		ef.linkDown[rack][slot] = true
+		ef.linkDown[peer][rev] = true
+		ef.rebuild()
+		ef.LostToFailedLinks += ef.net.tors[rack].up[slot].DropAll()
+		ef.LostToFailedLinks += ef.net.tors[peer].up[rev].DropAll()
+	})
+}
+
+// RecoverLink schedules the cable back up.
+func (ef *ExpanderFaults) RecoverLink(rack, slot int, at eventsim.Time) {
+	ef.net.eng.At(at, func() {
+		peer, rev := ef.peerSlot(rack, slot)
+		ef.linkDown[rack][slot] = false
+		ef.linkDown[peer][rev] = false
+		ef.rebuild()
+	})
+}
+
+// FailToR schedules a whole ToR to drop off the fabric: every one of its
+// expander cables goes dark and its hosts become unreachable from other
+// racks (rack-local traffic still flows).
+func (ef *ExpanderFaults) FailToR(rack int, at eventsim.Time) {
+	ef.net.eng.At(at, func() {
+		ef.torDown[rack] = true
+		ef.rebuild()
+		for slot, pt := range ef.net.tors[rack].up {
+			ef.LostToFailedLinks += pt.DropAll()
+			peer, rev := ef.peerSlot(rack, slot)
+			ef.LostToFailedLinks += ef.net.tors[peer].up[rev].DropAll()
+		}
+	})
+}
+
+// RecoverToR schedules a failed ToR back online.
+func (ef *ExpanderFaults) RecoverToR(rack int, at eventsim.Time) {
+	ef.net.eng.At(at, func() {
+		ef.torDown[rack] = false
+		ef.rebuild()
+	})
+}
+
+// FailSwitch is a no-op: the expander has no fabric switches to fail (its
+// "switch" coordinate names per-ToR neighbor slots). Use FailLink or
+// FailToR.
+func (ef *ExpanderFaults) FailSwitch(sw int, at eventsim.Time) {}
+
+// RecoverSwitch is a no-op; see FailSwitch.
+func (ef *ExpanderFaults) RecoverSwitch(sw int, at eventsim.Time) {}
+
+// DistinctLinks enumerates one canonical (rack, slot) coordinate per
+// physical cable, in deterministic order. The expander's (rack, slot)
+// coordinate space names every cable twice — once from each end ToR —
+// and FailLink cuts the whole cable, so random-failure sweeps must
+// sample from this deduplicated universe or they would fail roughly
+// twice the requested fraction.
+func (ef *ExpanderFaults) DistinctLinks() [][2]int {
+	var out [][2]int
+	for r := 0; r < ef.net.topo.NumRacks; r++ {
+		for slot, nb := range ef.net.topo.G.Neighbors(r) {
+			if int(nb) > r {
+				out = append(out, [2]int{r, slot})
+			}
+		}
+	}
+	return out
+}
+
+// rebuild recomputes the shared shortest-path tables against the
+// surviving topology — instant convergence, per the model above.
+func (ef *ExpanderFaults) rebuild() {
+	maps := routing.ExpanderPortMap(ef.net.topo)
+	pm := maps[0]
+	for r := range pm {
+		for slot, peer := range pm[r] {
+			if peer < 0 {
+				continue
+			}
+			if !ef.LinkUp(r, slot) {
+				pm[r][slot] = -1
+			}
+		}
+	}
+	ef.net.tables = routing.MustBuild(maps)
+}

@@ -20,6 +20,7 @@ type ExpanderNet struct {
 	hosts   []*Host
 	tors    []*ExpanderToR
 	metrics *Metrics
+	faults  *ExpanderFaults // lazily created; see expander_faults.go
 }
 
 func init() {

@@ -47,10 +47,12 @@ type Transport interface {
 }
 
 // FaultInjector schedules runtime failures (and recoveries) into a live
-// fabric — §3.6.2's failure model: links, ToRs and circuit switches go
-// down mid-run, adjacent ToRs detect, and the news spreads epidemically.
-// Fabrics that model runtime faults implement FaultNetwork; today that is
-// OperaNet (its FailureState is the injector).
+// fabric: links, ToRs and circuit switches go down mid-run. Fabrics that
+// model runtime faults implement FaultNetwork; today that is OperaNet
+// (§3.6.2's detection-and-epidemic model, FailureState) and ExpanderNet
+// (instant link-state reconvergence, ExpanderFaults). Coordinates are
+// fabric-specific — for Opera, sw names a rotor switch; for the expander,
+// it names a ToR's neighbor slot and FailSwitch has no referent.
 type FaultInjector interface {
 	FailLink(rack, sw int, at eventsim.Time)
 	FailToR(rack int, at eventsim.Time)
@@ -146,5 +148,7 @@ var (
 	_ CircuitNetwork = (*OperaNet)(nil)
 	_ CircuitNetwork = (*RotorNetSim)(nil)
 	_ FaultNetwork   = (*OperaNet)(nil)
+	_ FaultNetwork   = (*ExpanderNet)(nil)
 	_ FaultInjector  = (*FailureState)(nil)
+	_ FaultInjector  = (*ExpanderFaults)(nil)
 )

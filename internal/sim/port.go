@@ -231,6 +231,29 @@ func (pt *Port) FlushForReconfig(requeue func(*Packet)) {
 	})
 }
 
+// DropAll empties the port with failed-cable semantics: queued bulk
+// packets take the drop/NACK path, control and low-latency packets are
+// simply lost (their transports recover through retransmission). It
+// returns how many control/low-latency packets were lost. A transmission
+// already in progress still delivers — the cable fails behind it.
+func (pt *Port) DropAll() (lost uint64) {
+	pt.bulk.drain(func(p *Packet) {
+		pt.bulkBytes -= int(p.Size)
+		pt.dropBulk(p)
+	})
+	pt.ctrl.drain(func(p *Packet) {
+		pt.ctrlBytes -= int(p.Size)
+		lost++
+		p.Release()
+	})
+	pt.ll.drain(func(p *Packet) {
+		pt.llBytes -= int(p.Size)
+		lost++
+		p.Release()
+	})
+	return lost
+}
+
 // pick dequeues the next packet by strict priority.
 func (pt *Port) pick() *Packet {
 	if p := pt.ctrl.pop(); p != nil {

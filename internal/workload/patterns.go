@@ -67,38 +67,52 @@ type PoissonConfig struct {
 
 // Poisson generates flows with exponential inter-arrivals at the rate
 // implied by the offered load and mean flow size, with uniform random
-// source and destination hosts.
+// source and destination hosts. It materializes the whole arrival window;
+// long or high-load runs should use PoissonSource, which yields the same
+// flows lazily.
 func Poisson(cfg PoissonConfig) []FlowSpec {
+	return Drain(PoissonSource(cfg))
+}
+
+// PoissonSource is the streaming form of Poisson: the same seeded arrival
+// process, yielded one flow at a time so memory stays constant no matter
+// how long the window is. At equal seeds it produces exactly the flow
+// sequence Poisson materializes.
+func PoissonSource(cfg PoissonConfig) Source {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	mean := cfg.Dist.Mean()
 	// Aggregate offered bits/s = load × hosts × rate; flows/s = that / mean flow bits.
 	bitsPerSec := cfg.Load * float64(cfg.NumHosts) * cfg.LinkRateGbps * 1e9
 	flowsPerSec := bitsPerSec / (mean * 8)
 	if flowsPerSec <= 0 {
-		return nil
+		return SourceFunc(func() (FlowSpec, bool) { return FlowSpec{}, false })
 	}
 	meanGapNs := 1e9 / flowsPerSec
 
-	var out []FlowSpec
 	t := eventsim.Time(0)
-	for {
+	done := false
+	return SourceFunc(func() (FlowSpec, bool) {
+		if done {
+			return FlowSpec{}, false
+		}
 		gap := eventsim.Time(rng.ExpFloat64() * meanGapNs)
 		t += gap
 		if t >= cfg.Duration {
-			return out
+			done = true
+			return FlowSpec{}, false
 		}
 		src := rng.Intn(cfg.NumHosts)
 		dst := rng.Intn(cfg.NumHosts)
 		for dst == src || (cfg.AvoidRackLocal && sameRack(src, dst, cfg.HostsPerRack)) {
 			dst = rng.Intn(cfg.NumHosts)
 		}
-		out = append(out, FlowSpec{
+		return FlowSpec{
 			Src:     src,
 			Dst:     dst,
 			Bytes:   cfg.Dist.Sample(rng),
 			Arrival: t,
-		})
-	}
+		}, true
+	})
 }
 
 func sameRack(a, b, perRack int) bool { return a/perRack == b/perRack }

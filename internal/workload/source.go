@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"sort"
+
+	"github.com/opera-net/opera/internal/eventsim"
+)
+
+// Source is a lazy, possibly unbounded stream of flows. Next returns the
+// next FlowSpec (whose Arrival field is the absolute virtual arrival time)
+// and reports whether one was produced; once it returns false the source
+// is exhausted and must keep returning false.
+//
+// Sources yield flows in nondecreasing Arrival order, which is what lets
+// the cluster drive them lazily — one pending arrival event at a time —
+// instead of materializing the whole flow list up front. A source that
+// violates the ordering still works (late flows are admitted immediately,
+// like Cluster.AddFlow with a past arrival), but loses the O(active-flows)
+// scheduling guarantee for the out-of-order prefix.
+//
+// Sources are single-use iterators: generators own RNG or file state that
+// advances with every Next. Build a fresh Source per simulation.
+type Source interface {
+	Next() (FlowSpec, bool)
+}
+
+// SourceFunc adapts a plain function to the Source interface.
+type SourceFunc func() (FlowSpec, bool)
+
+// Next implements Source.
+func (f SourceFunc) Next() (FlowSpec, bool) { return f() }
+
+// Materialized is an optional Source capability: a source that already
+// holds its complete flow list exposes it so the cluster can schedule
+// every arrival in one shot. Lazy pumping earns nothing once the list
+// exists in memory — and one-shot scheduling keeps the event interleaving
+// (and therefore packet-level results) identical to the historical
+// AddFlows path. Wrapping combinators (Take, TagSource, …) deliberately
+// hide the capability, since they change the stream.
+type Materialized interface {
+	Source
+	// Specs returns the full flow list in arrival order. Callers must not
+	// mutate it.
+	Specs() []FlowSpec
+}
+
+// specSource is FromSpecs' implementation: a Materialized list iterator.
+type specSource struct {
+	ordered []FlowSpec
+	i       int
+}
+
+func (ss *specSource) Next() (FlowSpec, bool) {
+	if ss.i >= len(ss.ordered) {
+		return FlowSpec{}, false
+	}
+	s := ss.ordered[ss.i]
+	ss.i++
+	return s, true
+}
+
+func (ss *specSource) Specs() []FlowSpec { return ss.ordered }
+
+// FromSpecs adapts a materialized flow list into a Source: the specs are
+// copied, stably sorted by arrival time (preserving input order among
+// simultaneous arrivals), and yielded one at a time. This is the bridge
+// from every eager generator in this package — Shuffle, Permutation,
+// HotRack, Skew — and from legacy []FlowSpec workloads. The result
+// implements Materialized.
+func FromSpecs(specs []FlowSpec) Source {
+	ordered := append([]FlowSpec(nil), specs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	return &specSource{ordered: ordered}
+}
+
+// Drain materializes a source into a flow list. It is the inverse of
+// FromSpecs, used by legacy []FlowSpec call sites and tests; draining an
+// unbounded source does not terminate, so bound it with Take or Until
+// first.
+func Drain(s Source) []FlowSpec {
+	var out []FlowSpec
+	for {
+		spec, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, spec)
+	}
+}
+
+// Take caps a source at the first n flows.
+func Take(s Source, n int) Source {
+	return SourceFunc(func() (FlowSpec, bool) {
+		if n <= 0 {
+			return FlowSpec{}, false
+		}
+		n--
+		return s.Next()
+	})
+}
+
+// Until cuts a source off at the given virtual time: flows arriving at or
+// after cutoff are discarded and the source ends. It bounds unbounded
+// generators (a Ramp with no window, a Replay of a long trace).
+func Until(s Source, cutoff eventsim.Time) Source {
+	done := false
+	return SourceFunc(func() (FlowSpec, bool) {
+		if done {
+			return FlowSpec{}, false
+		}
+		spec, ok := s.Next()
+		if !ok || spec.Arrival >= cutoff {
+			done = true
+			return FlowSpec{}, false
+		}
+		return spec, true
+	})
+}
+
+// CapBytes clamps every flow's size to at most maxBytes (0 = no cap) — the
+// streaming form of the tail cap the small-scale Poisson sweeps apply so
+// test runtimes stay bounded.
+func CapBytes(s Source, maxBytes int64) Source {
+	if maxBytes <= 0 {
+		return s
+	}
+	return SourceFunc(func() (FlowSpec, bool) {
+		spec, ok := s.Next()
+		if ok && spec.Bytes > maxBytes {
+			spec.Bytes = maxBytes
+		}
+		return spec, ok
+	})
+}
+
+// TagSource labels every flow of a source with tag — the streaming form of
+// Tagged.
+func TagSource(tag string, s Source) Source {
+	return SourceFunc(func() (FlowSpec, bool) {
+		spec, ok := s.Next()
+		if ok {
+			spec.Tag = tag
+		}
+		return spec, ok
+	})
+}
+
+// BulkSource application-tags every flow of a source for bulk service
+// regardless of size (§3.4) — the streaming form of Bulked.
+func BulkSource(s Source) Source {
+	return SourceFunc(func() (FlowSpec, bool) {
+		spec, ok := s.Next()
+		if ok {
+			spec.Bulk = true
+		}
+		return spec, ok
+	})
+}
+
+// Merge interleaves sources into one stream ordered by arrival time. Ties
+// go to the earliest-listed source, so merging deterministic sources is
+// deterministic. Each input is consumed lazily with one spec of
+// lookahead.
+func Merge(sources ...Source) Source {
+	type head struct {
+		spec FlowSpec
+		src  Source
+	}
+	heads := make([]head, 0, len(sources))
+	for _, s := range sources {
+		if spec, ok := s.Next(); ok {
+			heads = append(heads, head{spec, s})
+		}
+	}
+	return SourceFunc(func() (FlowSpec, bool) {
+		if len(heads) == 0 {
+			return FlowSpec{}, false
+		}
+		best := 0
+		for i := 1; i < len(heads); i++ {
+			if heads[i].spec.Arrival < heads[best].spec.Arrival {
+				best = i
+			}
+		}
+		out := heads[best].spec
+		if next, ok := heads[best].src.Next(); ok {
+			heads[best].spec = next
+		} else {
+			heads = append(heads[:best], heads[best+1:]...)
+		}
+		return out, true
+	})
+}

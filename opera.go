@@ -195,6 +195,10 @@ type Cluster struct {
 	transports map[sim.Class]sim.Transport
 	lb         *rotorlb.LB // nil unless the fabric has circuits
 
+	// pumps counts sources added with AddSource that are not yet
+	// exhausted; RunUntilDone keeps running while any remain.
+	pumps int
+
 	hostsPerRack int
 }
 
@@ -341,10 +345,11 @@ func (c *Cluster) OperaNet() *sim.OperaNet {
 }
 
 // Faults returns the fabric's runtime failure-injection surface, or nil
-// when the architecture does not model runtime faults (only Opera does:
-// §3.6.2's detection-and-epidemic recovery is specific to its rotor
-// fabric). Use it to schedule link/ToR/switch failures and recoveries at
-// virtual times:
+// when the architecture does not model runtime faults. Opera implements
+// the §3.6.2 detection-and-epidemic recovery of its rotor fabric; the
+// static expander models instant link-state reconvergence (see
+// sim.ExpanderFaults). Use it to schedule link/ToR/switch failures and
+// recoveries at virtual times:
 //
 //	cl.Faults().FailLink(3, 2, 500*eventsim.Microsecond)
 func (c *Cluster) Faults() sim.FaultInjector {
@@ -378,6 +383,11 @@ func (c *Cluster) classify(spec workload.FlowSpec) sim.Class {
 
 // addFlow registers a flow of the given class and schedules its start.
 func (c *Cluster) addFlow(spec workload.FlowSpec, class sim.Class) *sim.Flow {
+	if spec.Src < 0 || spec.Src >= len(c.hosts) || spec.Dst < 0 || spec.Dst >= len(c.hosts) {
+		// Fail loudly at the boundary: an out-of-range host would otherwise
+		// surface as an opaque index panic deep inside a transport.
+		panic(fmt.Sprintf("opera: flow %d->%d outside cluster with %d hosts", spec.Src, spec.Dst, len(c.hosts)))
+	}
 	c.nextID++
 	f := &sim.Flow{
 		ID:      c.nextID,
@@ -420,6 +430,62 @@ func (c *Cluster) AddBulkFlow(spec workload.FlowSpec) *sim.Flow {
 	return c.addFlow(spec, sim.ClassBulk)
 }
 
+// AddSource drives a lazy flow source: instead of materializing the flow
+// list up front (AddFlows), the cluster schedules one arrival event at a
+// time — when it fires, every flow due at that instant is admitted, the
+// source is pulled for the next arrival, and a single new event is
+// scheduled for it. A source of a million flows therefore costs one
+// pending event and one spec of lookahead, keeping workload memory
+// O(active flows) for unbounded-duration runs; only Metrics' per-flow
+// completion records grow with the total count.
+//
+// Sources yield flows in nondecreasing arrival order (see
+// workload.Source); a flow arriving out of order is admitted immediately,
+// like AddFlow with a past arrival. RunUntilDone treats an unexhausted
+// source as pending work, so a run cannot end early during a lull between
+// arrivals.
+//
+// A source that already holds its complete flow list
+// (workload.Materialized, e.g. workload.FromSpecs) is scheduled in one
+// shot instead: the list is O(n) memory either way, and one-shot
+// scheduling keeps results identical to the historical AddFlows path.
+func (c *Cluster) AddSource(src workload.Source) {
+	if m, ok := src.(workload.Materialized); ok {
+		c.AddFlows(m.Specs())
+		return
+	}
+	spec, ok := src.Next()
+	if !ok {
+		return
+	}
+	c.pumps++
+	var pump func()
+	pump = func() {
+		now := c.eng.Now()
+		for {
+			c.AddFlow(spec)
+			spec, ok = src.Next()
+			if !ok {
+				c.pumps--
+				return
+			}
+			if spec.Arrival > now {
+				break
+			}
+		}
+		c.eng.At(spec.Arrival, pump)
+	}
+	at := spec.Arrival
+	if at < c.eng.Now() {
+		at = c.eng.Now()
+	}
+	c.eng.At(at, pump)
+}
+
+// PendingSources reports how many sources added with AddSource still have
+// flows to yield.
+func (c *Cluster) PendingSources() int { return c.pumps }
+
 // startFlow hands the flow to the transport serving its class.
 func (c *Cluster) startFlow(f *sim.Flow) {
 	c.transports[f.Class].StartFlow(f)
@@ -431,13 +497,16 @@ func (c *Cluster) Run(until eventsim.Time) { c.eng.RunUntil(until) }
 // RunUntilDone advances until every registered flow completes or the
 // deadline passes, checking at 100 µs granularity; it returns early when
 // the event queue drains, since no pending event means no flow can make
-// further progress. It reports completion.
+// further progress. While a source added with AddSource still has flows to
+// yield, the run continues even if everything admitted so far is done — a
+// lull between arrivals is not completion. It reports completion: all
+// admitted flows done and every source exhausted.
 func (c *Cluster) RunUntilDone(deadline eventsim.Time) bool {
 	const step = 100 * eventsim.Microsecond
 	for c.eng.Now() < deadline {
 		c.eng.RunUntil(c.eng.Now() + step)
 		done, total := c.metrics.DoneCount()
-		if done == total {
+		if done == total && c.pumps == 0 {
 			return true
 		}
 		if c.eng.Len() == 0 {
@@ -445,7 +514,7 @@ func (c *Cluster) RunUntilDone(deadline eventsim.Time) bool {
 		}
 	}
 	done, total := c.metrics.DoneCount()
-	return done == total
+	return done == total && c.pumps == 0
 }
 
 // Stop halts circuit clocks so a finished simulation can drain.

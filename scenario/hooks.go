@@ -176,15 +176,31 @@ func RecoverSwitch(sw int) Action {
 	})
 }
 
-// FailRandomLinks fails the given fraction of ToR↔switch cables, chosen
+// FailRandomLinks fails the given fraction of physical cables, chosen
 // uniformly (the sampling of §5.5's link-failure sweeps) from the
 // Scenario-seeded generator: the same Scenario fails the same links.
+// Fabrics whose coordinate space names each cable from both ends (the
+// expander) expose a deduplicated link universe so the fraction counts
+// cables, not endpoints.
 func FailRandomLinks(fraction float64) Action {
 	name := fmt.Sprintf("fail-random-links(%g)", fraction)
 	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, rng *rand.Rand, at eventsim.Time) error {
 		if !(fraction >= 0 && fraction <= 1) { // also rejects NaN
 			return fmt.Errorf("scenario: %s: fraction must be in [0,1]", name)
 		}
+		if dl, ok := inj.(interface{ DistinctLinks() [][2]int }); ok {
+			links := dl.DistinctLinks()
+			k := int(fraction*float64(len(links)) + 0.5)
+			if k > len(links) {
+				k = len(links)
+			}
+			for _, idx := range rng.Perm(len(links))[:k] {
+				inj.FailLink(links[idx][0], links[idx][1], at)
+			}
+			return nil
+		}
+		// Fabrics whose (rack, switch) coordinates map 1:1 to cables
+		// (Opera: one port per rack per rotor switch).
 		u, ok := cl.Network().(interface{ Uplinks() int })
 		if !ok {
 			return fmt.Errorf("scenario: %s: architecture %v does not expose uplinks", name, cl.Kind())

@@ -6,6 +6,7 @@ import (
 
 	opera "github.com/opera-net/opera"
 	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
 	"github.com/opera-net/opera/internal/workload"
 	"github.com/opera-net/opera/scenario"
 )
@@ -191,17 +192,85 @@ func TestTagOverSharedFixedWorkload(t *testing.T) {
 }
 
 // A fault schedule on a fabric without runtime fault support surfaces as
-// Result.Err, not a panic or a silent no-op.
+// Result.Err, not a panic or a silent no-op. (Opera and the expander
+// support injection; the folded Clos does not yet.)
 func TestFaultScheduleUnsupportedKind(t *testing.T) {
 	res := scenario.Run(scenario.Scenario{
-		Name:     "expander-faults",
-		Kind:     opera.KindExpander,
+		Name:     "clos-faults",
+		Kind:     opera.KindFoldedClos,
 		Seed:     1,
 		Events:   []scenario.Event{scenario.At(0, scenario.FailLink(0, 0))},
 		Duration: eventsim.Millisecond,
 	})
 	if res.Err == "" {
-		t.Fatal("expected Err for fault schedule on expander")
+		t.Fatal("expected Err for fault schedule on foldedclos")
+	}
+}
+
+// Fault schedules now run on the static expander too: link failure and
+// recovery mid-run, flows complete, and the schedule stays deterministic
+// across parallelism.
+func TestFaultScheduleOnExpander(t *testing.T) {
+	mk := func() []scenario.Scenario {
+		return []scenario.Scenario{{
+			Name: "expander-faults",
+			Kind: opera.KindExpander,
+			Seed: 1,
+			Events: []scenario.Event{
+				scenario.At(300*eventsim.Microsecond, scenario.FailLink(2, 1)),
+				scenario.At(500*eventsim.Microsecond, scenario.FailRandomLinks(0.05)),
+				scenario.At(3*eventsim.Millisecond, scenario.RecoverLink(2, 1)),
+			},
+			Workload: scenario.ShuffleN(12, 25_000, eventsim.Millisecond),
+			Duration: 4000 * eventsim.Millisecond,
+		}}
+	}
+	seq, err := scenario.RunScenarios(context.Background(), mk(), scenario.Parallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := scenario.RunScenarios(context.Background(), mk(), scenario.Parallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq[0].Err != "" {
+		t.Fatal(seq[0].Err)
+	}
+	if !seq[0].Completed || seq[0].FlowsDone != seq[0].FlowsTotal {
+		t.Fatalf("faulted expander run incomplete: %d/%d", seq[0].FlowsDone, seq[0].FlowsTotal)
+	}
+	if !seq[0].Equal(par[0]) {
+		t.Fatalf("expander fault schedule not deterministic across parallelism:\n seq: %+v\n par: %+v", seq[0], par[0])
+	}
+}
+
+// FailRandomLinks on the expander counts physical cables, not endpoint
+// coordinates: each cable appears twice in (rack, slot) space, so naive
+// endpoint sampling would fail roughly twice the requested fraction.
+func TestFailRandomLinksExpanderCountsCables(t *testing.T) {
+	const fraction = 0.25
+	cl, res := scenario.Collect(scenario.Scenario{
+		Name:     "expander-random",
+		Kind:     opera.KindExpander,
+		Seed:     1,
+		Events:   []scenario.Event{scenario.At(0, scenario.FailRandomLinks(fraction))},
+		Duration: eventsim.Millisecond,
+	})
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	ef := cl.Network().(*sim.ExpanderNet).Faults()
+	links := ef.DistinctLinks()
+	want := int(fraction*float64(len(links)) + 0.5)
+	var down int
+	for _, l := range links {
+		if !ef.LinkUp(l[0], l[1]) {
+			down++
+		}
+	}
+	if down != want {
+		t.Fatalf("failed %d/%d cables, want %d (fraction %.2f of cables, not endpoints)",
+			down, len(links), want, fraction)
 	}
 }
 

@@ -1,7 +1,8 @@
 // Package scenario turns single-cluster simulations into declarative,
-// parallel parameter sweeps. A Scenario names an architecture, a workload
-// generator, a run deadline and a seed; RunScenarios fans independent
-// clusters out across goroutines and returns one Result per Scenario.
+// parallel parameter sweeps. A Scenario names an architecture, its
+// traffic (streaming Sources, or a legacy materialized Workload), a run
+// deadline and a seed; RunScenarios fans independent clusters out across
+// goroutines and returns one Result per Scenario.
 //
 // Every cluster owns its event engine and randomness, so a Scenario's
 // Result is a pure function of the Scenario value: RunScenarios produces
@@ -31,7 +32,41 @@ import (
 // Workload generates the flow list for a cluster of the given shape. The
 // seed is the Scenario's; generators that want their own stream may ignore
 // it.
+//
+// Workload is the legacy materialized contract: the whole flow list exists
+// in memory before the first packet moves. New code should prefer Sources
+// — the streaming contract the cluster drives lazily — and can bridge an
+// existing Workload with Adapt. Internally every Workload already runs
+// through the same Source machinery.
 type Workload func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec
+
+// Env describes the concrete cluster a Source will feed — the information
+// a generator needs to calibrate itself, resolved after the cluster is
+// built so generators adapt to the architecture's actual sizing.
+type Env struct {
+	NumHosts     int
+	HostsPerRack int
+	// LinkRateGbps is the cluster's configured host link rate, so offered
+	// load fractions are correct on non-10G sizings.
+	LinkRateGbps float64
+	// Seed is the Scenario's seed.
+	Seed int64
+}
+
+// Source constructs a streaming flow source for a concrete cluster. The
+// cluster pulls it lazily — one arrival event at a time — so sources with
+// millions of flows, or no end at all, run in O(active-flows) memory.
+// Populate Scenario.Sources with these.
+type Source func(env Env) workload.Source
+
+// Adapt bridges a legacy Workload into a Source: the flow list is
+// materialized once per run and replayed in arrival order. Memory stays
+// O(flow list), so prefer native streaming constructors for large runs.
+func Adapt(w Workload) Source {
+	return func(env Env) workload.Source {
+		return workload.FromSpecs(w(env.NumHosts, env.HostsPerRack, env.Seed))
+	}
+}
 
 // Shuffle is an all-to-all shuffle of fixed-size flows (§5.2) across every
 // host, with arrivals spread over stagger.
@@ -53,33 +88,87 @@ func ShuffleN(participants int, flowBytes int64, stagger eventsim.Time) Workload
 }
 
 // Poisson offers Poisson arrivals drawn from a flow-size distribution at a
-// fraction of aggregate host bandwidth for the given window. maxFlowBytes
-// caps sampled sizes (0 = unlimited).
-func Poisson(dist *workload.FlowSizeDist, load float64, window eventsim.Time, maxFlowBytes int64) Workload {
-	return func(numHosts, hostsPerRack int, seed int64) []workload.FlowSpec {
-		flows := workload.Poisson(workload.PoissonConfig{
-			NumHosts:     numHosts,
-			HostsPerRack: hostsPerRack,
+// fraction of aggregate host bandwidth for the given window, streamed
+// lazily at the cluster's configured link rate. maxFlowBytes caps sampled
+// sizes (0 = unlimited).
+func Poisson(dist *workload.FlowSizeDist, load float64, window eventsim.Time, maxFlowBytes int64) Source {
+	return func(env Env) workload.Source {
+		return workload.CapBytes(workload.PoissonSource(workload.PoissonConfig{
+			NumHosts:     env.NumHosts,
+			HostsPerRack: env.HostsPerRack,
 			Load:         load,
-			LinkRateGbps: 10,
+			LinkRateGbps: env.LinkRateGbps,
 			Duration:     window,
 			Dist:         dist,
-			Seed:         seed,
+			Seed:         env.Seed,
+		}), maxFlowBytes)
+	}
+}
+
+// Ramp is Poisson with a time-varying load: loadAt gives the offered load
+// at each virtual time and peakLoad is its ceiling (see workload.Ramp).
+func Ramp(dist *workload.FlowSizeDist, peakLoad float64, loadAt func(t eventsim.Time) float64, window eventsim.Time, maxFlowBytes int64) Source {
+	return func(env Env) workload.Source {
+		return workload.CapBytes(workload.Ramp(workload.PoissonConfig{
+			NumHosts:     env.NumHosts,
+			HostsPerRack: env.HostsPerRack,
+			Load:         peakLoad,
+			LinkRateGbps: env.LinkRateGbps,
+			Duration:     window,
+			Dist:         dist,
+			Seed:         env.Seed,
+		}, loadAt), maxFlowBytes)
+	}
+}
+
+// Incast fires bursts of fanin simultaneous senders into one random
+// receiver every period, bursts times (see workload.Incast).
+func Incast(fanin int, bytes int64, period eventsim.Time, bursts int) Source {
+	return func(env Env) workload.Source {
+		return workload.Incast(workload.IncastConfig{
+			NumHosts: env.NumHosts,
+			Fanin:    fanin,
+			Bytes:    bytes,
+			Period:   period,
+			Bursts:   bursts,
+			Dst:      -1,
+			Seed:     env.Seed,
 		})
-		if maxFlowBytes > 0 {
-			for i := range flows {
-				if flows[i].Bytes > maxFlowBytes {
-					flows[i].Bytes = maxFlowBytes
-				}
-			}
-		}
-		return flows
 	}
 }
 
 // Fixed replays a precomputed flow list.
 func Fixed(flows []workload.FlowSpec) Workload {
 	return func(int, int, int64) []workload.FlowSpec { return flows }
+}
+
+// TagSource labels every flow of a source — the streaming form of Tag.
+func TagSource(tag string, s Source) Source {
+	return func(env Env) workload.Source { return workload.TagSource(tag, s(env)) }
+}
+
+// BulkSource application-tags every flow of a source for bulk service —
+// the streaming form of Bulk (§3.4).
+func BulkSource(s Source) Source {
+	return func(env Env) workload.Source { return workload.BulkSource(s(env)) }
+}
+
+// Take caps a source at its first n flows.
+func Take(s Source, n int) Source {
+	return func(env Env) workload.Source { return workload.Take(s(env), n) }
+}
+
+// MergeSources interleaves sources into one arrival-ordered stream.
+// Listing several entries in Scenario.Sources is equivalent; MergeSources
+// exists for composing before further wrapping.
+func MergeSources(ss ...Source) Source {
+	return func(env Env) workload.Source {
+		inner := make([]workload.Source, len(ss))
+		for i, s := range ss {
+			inner[i] = s(env)
+		}
+		return workload.Merge(inner...)
+	}
 }
 
 // Scenario is one self-contained simulation: an architecture, its sizing
@@ -92,9 +181,17 @@ type Scenario struct {
 	// WithSeed(Seed), so an explicit WithSeed among Options wins).
 	Kind    opera.Kind
 	Options []opera.Option
-	// Workload generates the flow list; nil means no flows. Tagged flows
-	// (see Tag) produce per-tag breakdowns in Result.ByTag.
+	// Workload generates a materialized flow list; nil means none. Tagged
+	// flows (see Tag) produce per-tag breakdowns in Result.ByTag.
+	// Deprecated-leaning: the list is adapted into a lazily driven Source
+	// internally; prefer Sources for anything large or unbounded.
 	Workload Workload
+	// Sources stream flows lazily into the cluster: each entry is built
+	// against the concrete cluster (Env) and pulled one arrival at a time,
+	// so memory stays O(active flows) regardless of total flow count.
+	// Workload and Sources compose; all entries run concurrently in
+	// virtual time.
+	Sources []Source
 	// Events schedules mid-run actions — fault injection and recovery —
 	// at fixed virtual times (see At, FailLink, FailSwitch, RecoverLink).
 	// Random actions draw from a generator derived from Seed, so the
@@ -199,7 +296,18 @@ func Collect(sc Scenario) (*opera.Cluster, Result) {
 		return nil, res
 	}
 	if sc.Workload != nil {
-		cl.AddFlows(sc.Workload(cl.NumHosts(), cl.HostsPerRack(), sc.Seed))
+		cl.AddSource(workload.FromSpecs(sc.Workload(cl.NumHosts(), cl.HostsPerRack(), sc.Seed)))
+	}
+	env := Env{
+		NumHosts:     cl.NumHosts(),
+		HostsPerRack: cl.HostsPerRack(),
+		LinkRateGbps: cl.Network().Config().LinkRateGbps,
+		Seed:         sc.Seed,
+	}
+	for _, s := range sc.Sources {
+		if s != nil {
+			cl.AddSource(s(env))
+		}
 	}
 	probes, err := applyHooks(cl, sc)
 	if err != nil {
