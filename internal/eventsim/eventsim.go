@@ -56,12 +56,28 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros returns the time as a floating-point number of microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
+// Handler is a pre-bound event callback. Scheduling a Handler with AtCall
+// or AfterCall avoids the per-event closure allocation of At/After: the
+// handler is a long-lived object (a port, a pacer, a transmission session)
+// and arg carries the per-event state — typically a pointer, which converts
+// to the any interface without allocating. Together with the engine's event
+// free list this makes steady-state scheduling allocation-free.
+type Handler interface {
+	OnEvent(arg any)
+}
+
 // Event is a scheduled callback. Events are returned by the scheduling
-// methods of Engine and may be cancelled until they fire.
+// methods of Engine and may be cancelled until they fire. Event objects are
+// pooled: once an event has fired (or its cancelled slot has drained from
+// the queue) the engine recycles the object for a future schedule, so
+// callers must not retain or use an Event past its scheduled time — which
+// was already the contract.
 type Event struct {
 	at        Time
 	seq       uint64 // scheduling order; breaks ties at equal time
 	fn        func()
+	h         Handler // pre-bound form; takes precedence over fn
+	arg       any
 	index     int // heap index; -1 once fired or cancelled
 	cancelled bool
 }
@@ -69,9 +85,12 @@ type Event struct {
 // At reports the virtual time at which the event is (or was) scheduled.
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op. Cancel reports whether the
-// event was still pending.
+// Cancel prevents a pending event from firing, reporting whether it was
+// still pending. Cancelling twice is a no-op. Cancel must not be called on
+// an event that has already fired: events are pooled, so the object may by
+// then back a different, unrelated schedule, and a stale Cancel would
+// silently cancel that one instead. Holders that may outlive their event
+// must drop the reference when it fires (as Timer does).
 func (e *Event) Cancel() bool {
 	if e.cancelled || e.index == -1 {
 		return false
@@ -87,6 +106,12 @@ type Engine struct {
 	queue  eventHeap
 	seq    uint64
 	nSteps uint64 // total events executed
+
+	// free is the event free list. The engine is single-goroutine by
+	// design, so a plain slice beats sync.Pool: no locking, and the pool
+	// survives garbage collections (GC clears sync.Pools, which would
+	// reintroduce steady-state allocations).
+	free []*Event
 }
 
 // New returns an empty engine with the clock at the epoch.
@@ -108,13 +133,34 @@ func (e *Engine) Len() int { return len(e.queue) }
 // reporting simulation effort in benchmarks.
 func (e *Engine) Steps() uint64 { return e.nSteps }
 
+// alloc draws an event from the free list, falling back to the heap only
+// when the pool is dry (startup, or a new high-water mark of concurrently
+// pending events).
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return new(Event)
+}
+
+// recycle zeroes an event (dropping callback and arg references so they can
+// be collected) and returns it to the free list.
+func (e *Engine) recycle(ev *Event) {
+	*ev = Event{index: -1}
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: such bugs silently corrupt causality and must not be masked.
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -128,6 +174,30 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// AtCall schedules h.OnEvent(arg) at absolute virtual time t — the
+// closure-free counterpart of At. Tie-order semantics are identical: events
+// at equal times fire in scheduling order regardless of which form
+// scheduled them.
+func (e *Engine) AtCall(t Time, h Handler, arg any) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.h, ev.arg = t, e.seq, h, arg
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// AfterCall schedules h.OnEvent(arg) d nanoseconds after the current time —
+// the closure-free counterpart of After.
+func (e *Engine) AfterCall(d Time, h Handler, arg any) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return e.AtCall(e.now+d, h, arg)
+}
+
 // Step executes the single next pending event, advancing the clock to its
 // timestamp. It reports false if the queue is empty.
 func (e *Engine) Step() bool {
@@ -135,11 +205,20 @@ func (e *Engine) Step() bool {
 		ev := heap.Pop(&e.queue).(*Event)
 		ev.index = -1
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.nSteps++
-		ev.fn()
+		// Copy the callback out and recycle before invoking, so schedules
+		// made inside the callback can reuse this slot immediately.
+		h, arg, fn := ev.h, ev.arg, ev.fn
+		e.recycle(ev)
+		if h != nil {
+			h.OnEvent(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -179,6 +258,7 @@ func (e *Engine) peek() *Event {
 		}
 		heap.Pop(&e.queue)
 		ev.index = -1
+		e.recycle(ev)
 	}
 	return nil
 }

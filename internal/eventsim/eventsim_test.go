@@ -274,3 +274,139 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 	}
 	e.Run()
 }
+
+// countHandler is a pre-bound Handler recording how it was invoked.
+type countHandler struct {
+	n    int
+	args []any
+}
+
+func (h *countHandler) OnEvent(arg any) { h.n++; h.args = append(h.args, arg) }
+
+func TestAtCallDeliversArg(t *testing.T) {
+	e := New()
+	h := &countHandler{}
+	p := &struct{ x int }{42}
+	e.AtCall(10, h, p)
+	e.AfterCall(20, h, nil)
+	e.Run()
+	if h.n != 2 {
+		t.Fatalf("handler ran %d times, want 2", h.n)
+	}
+	if h.args[0] != any(p) || h.args[1] != nil {
+		t.Fatalf("args = %v, want [%p nil]", h.args, p)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+}
+
+// orderHandler appends its arg (an int index) to a shared trace.
+type orderHandler struct{ got *[]int }
+
+func (h *orderHandler) OnEvent(arg any) { *h.got = append(*h.got, arg.(int)) }
+
+// Ties at equal times must fire in scheduling order regardless of which
+// form — closure or pre-bound — scheduled them, and regardless of how much
+// the event pool has churned beforehand. This is the fig08 determinism
+// canary at engine level.
+func TestTieOrderStableAcrossFormsAndChurn(t *testing.T) {
+	e := New()
+	// Churn the pool: schedule, cancel half, run everything.
+	for i := 0; i < 500; i++ {
+		ev := e.After(Time(i%7), func() {})
+		if i%2 == 0 {
+			ev.Cancel()
+		}
+	}
+	e.Run()
+	base := e.Now()
+	var got []int
+	oh := &orderHandler{got: &got}
+	for i := 0; i < 100; i++ {
+		i := i
+		if i%3 == 0 {
+			e.AtCall(base+42, oh, i)
+		} else {
+			e.At(base+42, func() { got = append(got, i) })
+		}
+	}
+	e.Run()
+	if len(got) != 100 {
+		t.Fatalf("executed %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO after churn: got[%d] = %d", i, v)
+		}
+	}
+}
+
+// A cancelled event's object must drain back to the free list once its
+// scheduled time passes, and reuse must not resurrect the cancelled
+// callback.
+func TestPoolRecycleAfterCancel(t *testing.T) {
+	e := New()
+	cancelledRan := false
+	ev := e.At(10, func() { cancelledRan = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel failed")
+	}
+	ran := 0
+	e.At(20, func() { ran++ })
+	e.Run()
+	if cancelledRan {
+		t.Fatal("cancelled event ran")
+	}
+	if ran != 1 {
+		t.Fatalf("live event ran %d times, want 1", ran)
+	}
+	// The cancelled slot has drained: a new schedule must reuse a pooled
+	// object (white-box: the free list is non-empty) and fire normally.
+	if len(e.free) == 0 {
+		t.Fatal("free list empty after cancelled event drained")
+	}
+	ev2 := e.At(30, func() { ran++ })
+	if ev2.cancelled {
+		t.Fatal("recycled event carried stale cancelled flag")
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("recycled event did not fire: ran = %d", ran)
+	}
+}
+
+// TestAllocsPooledScheduling is the engine-level allocation gate: steady-
+// state closure-free scheduling must not allocate at all. (The name matches
+// CI's `-run 'TestAllocs'` regression step.)
+func TestAllocsPooledScheduling(t *testing.T) {
+	e := New()
+	h := &countHandler{}
+	arg := new(int)
+	// Warm the pool.
+	for i := 0; i < 64; i++ {
+		e.AfterCall(1, h, arg)
+	}
+	e.Run()
+	h.args = h.args[:0]
+	avg := testing.AllocsPerRun(200, func() {
+		e.AfterCall(1, h, arg)
+		e.Run()
+		h.args = h.args[:0]
+	})
+	if avg != 0 {
+		t.Fatalf("pooled scheduling allocates %.1f/op, want 0", avg)
+	}
+	// Timer re-arming rides the same pooled path.
+	tm := NewTimer(e, func() {})
+	tm.Arm(1)
+	e.Run()
+	avg = testing.AllocsPerRun(200, func() {
+		tm.Arm(1)
+		tm.Arm(2) // replaces: exercises cancel + recycle
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("Timer.Arm allocates %.1f/op, want 0", avg)
+	}
+}

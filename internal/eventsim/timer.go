@@ -15,16 +15,17 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 }
 
 // Arm (re)schedules the timer to fire d after now, replacing any pending
-// schedule.
+// schedule. Arming uses the engine's pooled closure-free path, so re-arming
+// a hot timer (e.g. an RTO bumped on every ACK) does not allocate.
 func (t *Timer) Arm(d Time) {
 	t.Stop()
-	t.pending = t.eng.After(d, t.fire)
+	t.pending = t.eng.AfterCall(d, t, nil)
 }
 
 // ArmAt (re)schedules the timer to fire at absolute time at.
 func (t *Timer) ArmAt(at Time) {
 	t.Stop()
-	t.pending = t.eng.At(at, t.fire)
+	t.pending = t.eng.AtCall(at, t, nil)
 }
 
 // Stop cancels any pending schedule. It reports whether a pending schedule
@@ -50,7 +51,8 @@ func (t *Timer) Deadline() Time {
 	return t.pending.At()
 }
 
-func (t *Timer) fire() {
+// OnEvent implements Handler; the timer is its own pre-bound callback.
+func (t *Timer) OnEvent(any) {
 	t.pending = nil
 	t.fn()
 }

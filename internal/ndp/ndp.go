@@ -42,9 +42,11 @@ type Endpoint struct {
 	recvFlows map[int64]*recvFlow
 
 	// PULL pacing: one pull per MTU serialization time, round-robin across
-	// flows with credits.
+	// flows with credits. paceH is the pre-bound pacer tick
+	// (eventsim.Handler), so per-pull scheduling allocates nothing.
 	pullCredits []int64 // flow IDs, one entry per credit
 	pacing      bool
+	paceH       pacerTick
 
 	// registry maps flow IDs to flows so receivers can size their state on
 	// first contact (shared across the cluster's endpoints).
@@ -71,6 +73,7 @@ func Attach(hosts []*sim.Host, metrics *sim.Metrics, params Params, registry map
 			registry:  registry,
 			next:      h.Handler,
 		}
+		ep.paceH.ep = ep
 		h.Handler = ep.handle
 		eps[i] = ep
 	}
@@ -314,18 +317,25 @@ func (ep *Endpoint) pace() {
 	ep.pacing = true
 	cfg := ep.host.Config()
 	spacing := cfg.SerializationDelay(cfg.MTU)
-	ep.host.Engine().After(spacing, func() {
-		ep.pacing = false
-		if len(ep.pullCredits) == 0 {
-			return
-		}
-		id := ep.pullCredits[0]
-		ep.pullCredits = ep.pullCredits[1:]
-		if rf := ep.recvFlows[id]; rf != nil && !rf.complete() {
-			ep.sendCtrl(sim.KindPull, rf.f, 0, 0)
-		}
-		ep.pace()
-	})
+	ep.host.Engine().AfterCall(spacing, &ep.paceH, nil)
+}
+
+// pacerTick is the endpoint's pre-bound pacer callback: issue the next pull
+// and reschedule while credits remain.
+type pacerTick struct{ ep *Endpoint }
+
+func (h *pacerTick) OnEvent(any) {
+	ep := h.ep
+	ep.pacing = false
+	if len(ep.pullCredits) == 0 {
+		return
+	}
+	id := ep.pullCredits[0]
+	ep.pullCredits = ep.pullCredits[1:]
+	if rf := ep.recvFlows[id]; rf != nil && !rf.complete() {
+		ep.sendCtrl(sim.KindPull, rf.f, 0, 0)
+	}
+	ep.pace()
 }
 
 func (rf *recvFlow) has(seq int32) bool {

@@ -96,7 +96,7 @@ func (a *rackAgent) openSessions(abs int64) {
 			vlbQ:     vlbQ,
 		}
 		startAt := c.WindowStart + a.lb.params.StartMargin
-		net.Engine().After(startAt, sess.pump)
+		net.Engine().AfterCall(startAt, sess, nil)
 	}
 }
 
@@ -170,34 +170,49 @@ func (a *rackAgent) acceptVLB(offer int64) int64 {
 }
 
 // sendLocal transmits a rack-local bulk flow straight through the ToR,
-// self-paced at the NIC rate.
+// self-paced at the NIC rate. The pacer is one localSender allocated per
+// local flow; its per-packet rescheduling uses the pooled closure-free
+// engine path.
 func (a *rackAgent) sendLocal(f *sim.Flow) {
-	net := a.lb.net
-	cfg := net.Config()
-	mtu := int64(cfg.MTU)
-	var step func(sent int64)
-	step = func(sent int64) {
-		if sent >= f.Size {
-			return
-		}
-		n := mtu
-		if f.Size-sent < n {
-			n = f.Size - sent
-		}
-		p := a.newBulkPacket(segment{f: f, host: f.SrcHost, bytes: n}, -1)
-		net.Hosts()[f.SrcHost].Send(p)
-		net.Engine().After(cfg.SerializationDelay(int(n)), func() { step(sent + n) })
-	}
-	step(0)
+	(&localSender{a: a, f: f}).OnEvent(nil)
 }
 
-// session paces one circuit's transmissions across its window.
+// localSender paces one rack-local flow, one MTU per serialization time.
+type localSender struct {
+	a    *rackAgent
+	f    *sim.Flow
+	sent int64
+}
+
+// OnEvent implements eventsim.Handler: emit the next chunk and reschedule.
+func (s *localSender) OnEvent(any) {
+	if s.sent >= s.f.Size {
+		return
+	}
+	net := s.a.lb.net
+	cfg := net.Config()
+	n := int64(cfg.MTU)
+	if s.f.Size-s.sent < n {
+		n = s.f.Size - s.sent
+	}
+	p := s.a.newBulkPacket(segment{f: s.f, host: s.f.SrcHost, bytes: n}, -1)
+	net.Hosts()[s.f.SrcHost].Send(p)
+	s.sent += n
+	net.Engine().AfterCall(cfg.SerializationDelay(int(n)), s, nil)
+}
+
+// session paces one circuit's transmissions across its window. It is its
+// own eventsim.Handler, so the one-event-per-packet pump loop schedules
+// without closures.
 type session struct {
 	agent    *rackAgent
 	circuit  sim.Circuit
 	deadline eventsim.Time
 	vlbQ     segQueue
 }
+
+// OnEvent implements eventsim.Handler.
+func (s *session) OnEvent(any) { s.pump() }
 
 // pump emits one MTU-sized bulk packet per MTU serialization time until
 // the window closes or all eligible queues drain. Service order follows
@@ -250,7 +265,7 @@ func (s *session) pump() {
 		if blocked {
 			wait = txTime
 		}
-		net.Engine().After(wait, s.pump)
+		net.Engine().AfterCall(wait, s, nil)
 		return
 	}
 	a.grantTo(seg.host, now, txTime)
@@ -271,7 +286,7 @@ func (s *session) pump() {
 	// Poll the owning host: it enqueues on its NIC now; priority queueing
 	// there lets low-latency traffic jump ahead (§4.2).
 	net.Hosts()[seg.host].Send(p)
-	net.Engine().After(txTime, s.pump)
+	net.Engine().AfterCall(txTime, s, nil)
 }
 
 // close returns any admitted-but-unsent VLB bytes to their origin queues;

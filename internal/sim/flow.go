@@ -38,6 +38,7 @@ func (f *Flow) FCT() eventsim.Time { return f.End - f.Start }
 // single-threaded, so no locking is needed.
 type Metrics struct {
 	flows []*Flow
+	done  int // flows completed, maintained incrementally by FlowDone
 
 	// DeliveredBytes tracks application bytes arriving at receivers over
 	// time (Figure 8's throughput series), binned at 1 ms.
@@ -72,6 +73,7 @@ func (m *Metrics) FlowDone(f *Flow, now eventsim.Time) {
 	}
 	f.Done = true
 	f.End = now
+	m.done++
 	if m.OnFlowDone != nil {
 		m.OnFlowDone(f)
 	}
@@ -122,12 +124,10 @@ func (m *Metrics) FCTSample(filter func(*Flow) bool) *stats.Sample {
 	return &s
 }
 
-// DoneCount returns completed and total flow counts.
+// DoneCount returns completed and total flow counts. It is O(1): the done
+// counter is maintained incrementally by FlowDone, so completion polling
+// (Cluster.RunUntilDone checks every 100 µs) costs nothing per registered
+// flow — the old per-call rescan made long soaks quadratic in flow count.
 func (m *Metrics) DoneCount() (done, total int) {
-	for _, f := range m.flows {
-		if f.Done {
-			done++
-		}
-	}
-	return done, len(m.flows)
+	return m.done, len(m.flows)
 }

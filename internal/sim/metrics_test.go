@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"github.com/opera-net/opera/internal/eventsim"
 )
 
 func TestFCTSampleFilter(t *testing.T) {
@@ -80,5 +82,44 @@ func TestRackLocalDeliveryNotTaxed(t *testing.T) {
 	}
 	if fl.BytesRcvd != 1000 {
 		t.Fatal("delivery bytes must still accrue to the flow")
+	}
+}
+
+// DoneCount is O(1): the counter is maintained by FlowDone, never by
+// rescanning the flow table. This pins the incremental bookkeeping —
+// idempotent completion, interleaved registration, agreement with a full
+// scan at every step.
+func TestDoneCountIncremental(t *testing.T) {
+	m := NewMetrics()
+	scan := func() int {
+		n := 0
+		for _, f := range m.Flows() {
+			if f.Done {
+				n++
+			}
+		}
+		return n
+	}
+	var flows []*Flow
+	for i := 0; i < 100; i++ {
+		f := &Flow{ID: int64(i), Size: 1000}
+		m.AddFlow(f)
+		flows = append(flows, f)
+		if i%2 == 0 {
+			m.FlowDone(f, eventsim.Time(i))
+			m.FlowDone(f, eventsim.Time(i+1)) // idempotent: must not double count
+		}
+		done, total := m.DoneCount()
+		if done != scan() || total != i+1 {
+			t.Fatalf("after %d flows: DoneCount = (%d, %d), scan = %d", i+1, done, total, scan())
+		}
+	}
+	// Finish the rest out of registration order.
+	for i := len(flows) - 1; i >= 0; i-- {
+		m.FlowDone(flows[i], 10_000)
+	}
+	done, total := m.DoneCount()
+	if done != 100 || total != 100 {
+		t.Fatalf("final DoneCount = (%d, %d), want (100, 100)", done, total)
 	}
 }

@@ -25,9 +25,34 @@ type OperaNet struct {
 	listeners []func(absSlice int64)
 	stopped   bool
 
+	// tick and blackouts are the pre-bound slice-clock handlers
+	// (eventsim.Handler), one blackout handler per rotor switch, so the
+	// clock schedules without per-slice closures.
+	tick      operaSliceTick
+	blackouts []operaBlackout
+
 	// failures tracks runtime failures and the §3.6.2 hello-protocol
 	// epidemic; nil until Failures() is first used.
 	failures *FailureState
+}
+
+// operaSliceTick advances the slice clock; the next slice number is always
+// curSlice+1, so the event needs no argument.
+type operaSliceTick struct{ n *OperaNet }
+
+func (h *operaSliceTick) OnEvent(any) { h.n.sliceBoundary(h.n.curSlice + 1) }
+
+// operaBlackout darkens one rotor switch's ports for its reconfiguration.
+type operaBlackout struct {
+	n  *OperaNet
+	sw int
+}
+
+func (h *operaBlackout) OnEvent(any) {
+	for _, tor := range h.n.tors {
+		tor.up[h.sw].SetEnabled(false)
+		tor.up[h.sw].FlushForReconfig(tor.requeue)
+	}
 }
 
 func init() {
@@ -71,6 +96,11 @@ func NewOperaNet(eng *eventsim.Engine, cfg Config, topo *topology.Opera, seed in
 	}
 	for r := 0; r < numRacks; r++ {
 		n.tors[r].wire()
+	}
+	n.tick.n = n
+	n.blackouts = make([]operaBlackout, topo.Uplinks())
+	for sw := range n.blackouts {
+		n.blackouts[sw] = operaBlackout{n: n, sw: sw}
 	}
 	return n
 }
@@ -147,13 +177,7 @@ func (n *OperaNet) sliceBoundary(S int64) {
 	dur := n.topo.SliceDuration()
 	r := n.topo.Config().ReconfDelay
 	for _, sw := range n.topo.Transitioning(sc) {
-		sw := sw
-		n.eng.After(dur-r, func() {
-			for _, tor := range n.tors {
-				tor.up[sw].SetEnabled(false)
-				tor.up[sw].FlushForReconfig(tor.requeue)
-			}
-		})
+		n.eng.AfterCall(dur-r, &n.blackouts[sw], nil)
 	}
 	// Hello exchange on every fresh circuit spreads failure news (§3.6.2).
 	if n.failures != nil {
@@ -163,7 +187,7 @@ func (n *OperaNet) sliceBoundary(S int64) {
 		fn(S)
 	}
 	if !n.stopped {
-		n.eng.After(dur, func() { n.sliceBoundary(S + 1) })
+		n.eng.AfterCall(dur, &n.tick, nil)
 	}
 }
 

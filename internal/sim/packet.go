@@ -115,6 +115,11 @@ type Packet struct {
 
 	// EnqueuedAt supports queue-latency metrics.
 	EnqueuedAt eventsim.Time
+
+	// dst is the resolved far-end node while the packet is in flight on a
+	// link (set at transmit-completion, cleared on delivery). Carrying it
+	// here lets ports schedule deliveries without a per-packet closure.
+	dst Node
 }
 
 var packetPool = sync.Pool{New: func() any { return new(Packet) }}

@@ -44,14 +44,28 @@ func (q *pktFIFO) pop() *Packet {
 
 func (q *pktFIFO) len() int { return q.n }
 
-// drain empties the queue, invoking fn on every packet.
-func (q *pktFIFO) drain(fn func(*Packet)) {
-	for {
-		p := q.pop()
-		if p == nil {
-			return
-		}
-		fn(p)
+// take removes and returns the queue's current contents as a snapshot,
+// leaving the queue empty. Packets pushed while the snapshot is processed
+// land in the live queue and are NOT part of the snapshot — this is what
+// makes the reconfiguration drains safe against handlers (NACK paths) that
+// re-enqueue into the very queue being drained.
+func (q *pktFIFO) take() pktFIFO {
+	if q.n == 0 {
+		return pktFIFO{}
+	}
+	snap := *q
+	*q = pktFIFO{}
+	return snap
+}
+
+// giveBack returns a fully drained snapshot's backing array to the queue,
+// so per-slice reconfiguration flushes don't shed and regrow ring buffers.
+// It is a no-op if the queue acquired a new buffer in the meantime (packets
+// re-enqueued during the drain) or the snapshot still holds packets.
+func (q *pktFIFO) giveBack(snap pktFIFO) {
+	if q.buf == nil && snap.n == 0 && snap.buf != nil {
+		q.buf = snap.buf
+		q.head = 0
 	}
 }
 
@@ -93,8 +107,27 @@ type Port struct {
 	// (§4.2.2). If nil the packet is counted and released.
 	onBulkDrop func(*Packet)
 
+	// inflight is the packet currently being serialized (busy implies
+	// non-nil). Holding it in a field instead of a closure keeps the
+	// per-packet transmit pipeline allocation-free.
+	inflight *Packet
+	txH      portTxDone
+	dvH      portDeliver
+
 	Stats PortStats
 }
+
+// portTxDone and portDeliver are the port's pre-bound event handlers
+// (eventsim.Handler): serialization-complete and propagation-complete. They
+// are fields of the Port so that &pt.txH / &pt.dvH convert to the Handler
+// interface without allocating.
+type portTxDone struct{ pt *Port }
+
+func (h *portTxDone) OnEvent(any) { h.pt.txComplete() }
+
+type portDeliver struct{ pt *Port }
+
+func (h *portDeliver) OnEvent(arg any) { h.pt.deliver(arg.(*Packet)) }
 
 // NewPort builds a port owned by eng with a static destination.
 func NewPort(eng *eventsim.Engine, cfg *Config, name string, dst Node) *Port {
@@ -104,7 +137,7 @@ func NewPort(eng *eventsim.Engine, cfg *Config, name string, dst Node) *Port {
 // NewDynamicPort builds a port whose destination is resolved per packet at
 // transmit-completion time (rotor circuit semantics).
 func NewDynamicPort(eng *eventsim.Engine, cfg *Config, name string, resolve func(eventsim.Time) Node) *Port {
-	return &Port{
+	pt := &Port{
 		eng:     eng,
 		cfg:     cfg,
 		name:    name,
@@ -112,6 +145,9 @@ func NewDynamicPort(eng *eventsim.Engine, cfg *Config, name string, resolve func
 		prop:    cfg.PropDelay,
 		enabled: true,
 	}
+	pt.txH.pt = pt
+	pt.dvH.pt = pt
+	return pt
 }
 
 // Name returns the diagnostic name of the port.
@@ -214,43 +250,63 @@ func (pt *Port) SetEnabled(on bool) {
 // the drop/NACK path (they were admitted against a circuit that no longer
 // exists, §4.2.2); control and low-latency packets are handed to requeue
 // for re-routing under the new configuration (stale-packet recovery).
+//
+// Each queue is drained from a snapshot: the drop/NACK and requeue handlers
+// can legally route a packet straight back into this port (the NACK's
+// expander path or the new tables may pick the same uplink), and a live
+// drain would re-drop such freshly admitted packets — or chase its own tail
+// indefinitely. Packets enqueued during the flush were routed with current
+// knowledge and stay queued.
 func (pt *Port) FlushForReconfig(requeue func(*Packet)) {
-	pt.bulk.drain(func(p *Packet) {
+	// All three snapshots are taken before any handler runs: a NACK minted
+	// while draining bulk is a freshly routed packet, not a stale one, and
+	// must not be re-flushed by the control drain that follows.
+	bulk, ctrl, ll := pt.bulk.take(), pt.ctrl.take(), pt.ll.take()
+	for p := bulk.pop(); p != nil; p = bulk.pop() {
 		pt.bulkBytes -= int(p.Size)
 		pt.dropBulk(p)
-	})
-	pt.ctrl.drain(func(p *Packet) {
+	}
+	for p := ctrl.pop(); p != nil; p = ctrl.pop() {
 		pt.ctrlBytes -= int(p.Size)
 		pt.Stats.Stale++
 		requeue(p)
-	})
-	pt.ll.drain(func(p *Packet) {
+	}
+	for p := ll.pop(); p != nil; p = ll.pop() {
 		pt.llBytes -= int(p.Size)
 		pt.Stats.Stale++
 		requeue(p)
-	})
+	}
+	pt.bulk.giveBack(bulk)
+	pt.ctrl.giveBack(ctrl)
+	pt.ll.giveBack(ll)
 }
 
 // DropAll empties the port with failed-cable semantics: queued bulk
 // packets take the drop/NACK path, control and low-latency packets are
 // simply lost (their transports recover through retransmission). It
 // returns how many control/low-latency packets were lost. A transmission
-// already in progress still delivers — the cable fails behind it.
+// already in progress still delivers — the cable fails behind it. Like
+// FlushForReconfig, each queue drains from a snapshot so a NACK handler
+// re-enqueueing into this port cannot get its fresh packets re-dropped.
 func (pt *Port) DropAll() (lost uint64) {
-	pt.bulk.drain(func(p *Packet) {
+	bulk, ctrl, ll := pt.bulk.take(), pt.ctrl.take(), pt.ll.take()
+	for p := bulk.pop(); p != nil; p = bulk.pop() {
 		pt.bulkBytes -= int(p.Size)
 		pt.dropBulk(p)
-	})
-	pt.ctrl.drain(func(p *Packet) {
+	}
+	for p := ctrl.pop(); p != nil; p = ctrl.pop() {
 		pt.ctrlBytes -= int(p.Size)
 		lost++
 		p.Release()
-	})
-	pt.ll.drain(func(p *Packet) {
+	}
+	for p := ll.pop(); p != nil; p = ll.pop() {
 		pt.llBytes -= int(p.Size)
 		lost++
 		p.Release()
-	})
+	}
+	pt.bulk.giveBack(bulk)
+	pt.ctrl.giveBack(ctrl)
+	pt.ll.giveBack(ll)
 	return lost
 }
 
@@ -280,25 +336,39 @@ func (pt *Port) maybeTransmit() {
 		return
 	}
 	pt.busy = true
-	txDone := pt.cfg.SerializationDelay(int(p.Size))
-	pt.eng.After(txDone, func() {
-		pt.Stats.Tx[p.Class].Add(int(p.Size))
-		dst := pt.resolve(pt.eng.Now())
-		if dst != nil {
-			prop := pt.prop
-			pkt := p
-			pt.eng.After(prop, func() { dst.Receive(pkt, pt) })
+	pt.inflight = p
+	pt.eng.AfterCall(pt.cfg.SerializationDelay(int(p.Size)), &pt.txH, nil)
+}
+
+// txComplete fires when the in-flight packet's last bit leaves the
+// transmitter: resolve the far end as of now (rotor semantics), launch the
+// propagation-delay delivery, and start the next transmission.
+func (pt *Port) txComplete() {
+	p := pt.inflight
+	pt.inflight = nil
+	pt.Stats.Tx[p.Class].Add(int(p.Size))
+	dst := pt.resolve(pt.eng.Now())
+	if dst != nil {
+		p.dst = dst
+		pt.eng.AfterCall(pt.prop, &pt.dvH, p)
+	} else {
+		// Link dark (no peer): the photons are lost.
+		if p.Kind == KindBulk {
+			pt.dropBulk(p)
 		} else {
-			// Link dark (no peer): the photons are lost.
-			if p.Kind == KindBulk {
-				pt.dropBulk(p)
-			} else {
-				p.Release()
-			}
+			p.Release()
 		}
-		pt.busy = false
-		pt.maybeTransmit()
-	})
+	}
+	pt.busy = false
+	pt.maybeTransmit()
+}
+
+// deliver fires when a packet's propagation delay elapses: hand it to the
+// node that was at the far end of the link when transmission completed.
+func (pt *Port) deliver(p *Packet) {
+	dst := p.dst
+	p.dst = nil
+	dst.Receive(p, pt)
 }
 
 func max(a, b int) int {

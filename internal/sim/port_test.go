@@ -278,3 +278,93 @@ func TestPacketPool(t *testing.T) {
 	}
 	q.Release()
 }
+
+// A drop/NACK handler may legally route a packet straight back into the
+// port being flushed (the NACK's path can pick the same uplink). The flush
+// must drain a snapshot: freshly re-enqueued packets stay queued for the
+// new configuration instead of being re-dropped — or chased forever.
+func TestFlushForReconfigReentrancy(t *testing.T) {
+	eng := eventsim.New()
+	cfg := testConfig()
+	sink := &sinkNode{eng: eng}
+	pt := NewPort(eng, &cfg, "t", sink)
+	pt.SetEnabled(false)
+	var nacks int
+	// NACK path that re-enqueues a control packet into this same port —
+	// the §4.2.2 shape when the NACK routes back over the flushed uplink.
+	pt.SetBulkDropHandler(func(p *Packet) {
+		nacks++
+		nack := NewPacket()
+		nack.Kind = KindBulkNack
+		nack.Class = ClassControl
+		nack.Size = 64
+		p.Release()
+		pt.Enqueue(nack)
+	})
+	b := mkData(1500, ClassBulk)
+	b.Kind = KindBulk
+	pt.Enqueue(b)
+	// Requeue handler that also re-enqueues into the same port (the new
+	// tables picked the same uplink for a stale low-latency packet).
+	pt.Enqueue(mkData(1500, ClassLowLatency))
+	requeued := 0
+	pt.FlushForReconfig(func(p *Packet) {
+		requeued++
+		if requeued > 10 {
+			t.Fatal("flush is chasing its own re-enqueued packets")
+		}
+		pt.Enqueue(p)
+	})
+	if nacks != 1 {
+		t.Fatalf("bulk NACKed %d times, want exactly 1 (no re-drop)", nacks)
+	}
+	if requeued != 1 {
+		t.Fatalf("low-latency requeued %d times, want exactly 1", requeued)
+	}
+	// Both re-enqueued packets survived the flush, queued for the new
+	// configuration.
+	if pt.QueuedBytes(ClassControl) != 64 {
+		t.Fatalf("ctrl bytes = %d, want the re-enqueued NACK (64)", pt.QueuedBytes(ClassControl))
+	}
+	if pt.QueuedBytes(ClassLowLatency) != 1500 {
+		t.Fatalf("ll bytes = %d, want the requeued packet (1500)", pt.QueuedBytes(ClassLowLatency))
+	}
+	if pt.Stats.Stale != 1 {
+		t.Fatalf("stale = %d, want 1", pt.Stats.Stale)
+	}
+}
+
+// DropAll has the same re-entrancy hazard through its bulk NACK path.
+func TestDropAllReentrancy(t *testing.T) {
+	eng := eventsim.New()
+	cfg := testConfig()
+	sink := &sinkNode{eng: eng}
+	pt := NewPort(eng, &cfg, "t", sink)
+	pt.SetEnabled(false)
+	drops := 0
+	pt.SetBulkDropHandler(func(p *Packet) {
+		drops++
+		if drops > 10 {
+			t.Fatal("DropAll re-dropping re-enqueued bulk")
+		}
+		requeue := NewPacket()
+		requeue.Kind = KindBulk
+		requeue.Class = ClassBulk
+		requeue.Size = 1500
+		p.Release()
+		pt.Enqueue(requeue)
+	})
+	b := mkData(1500, ClassBulk)
+	b.Kind = KindBulk
+	pt.Enqueue(b)
+	pt.Enqueue(mkData(1500, ClassLowLatency))
+	if lost := pt.DropAll(); lost != 1 {
+		t.Fatalf("lost = %d, want 1", lost)
+	}
+	if drops != 1 {
+		t.Fatalf("bulk dropped %d times, want exactly 1", drops)
+	}
+	if pt.QueuedBytes(ClassBulk) != 1500 {
+		t.Fatalf("bulk bytes = %d, want re-enqueued 1500", pt.QueuedBytes(ClassBulk))
+	}
+}

@@ -30,6 +30,38 @@ type RotorNetSim struct {
 	curSlot   int64
 	listeners []func(absSlot int64)
 	stopped   bool
+
+	// Pre-bound slot-clock and delivery handlers (eventsim.Handler):
+	// RotorNet reconfigures all switches in unison, so one blackout handler
+	// serves the whole fabric; oob delivers management-channel control
+	// packets (the destination rides the packet's in-flight dst field).
+	tick     rotorSlotTick
+	blackout rotorBlackout
+	oob      rotorOOBDeliver
+}
+
+type rotorSlotTick struct{ n *RotorNetSim }
+
+func (h *rotorSlotTick) OnEvent(any) { h.n.slotBoundary(h.n.curSlot + 1) }
+
+type rotorBlackout struct{ n *RotorNetSim }
+
+func (h *rotorBlackout) OnEvent(any) {
+	for _, tor := range h.n.tors {
+		for _, pt := range tor.up {
+			pt.SetEnabled(false)
+			pt.FlushForReconfig(tor.requeue)
+		}
+	}
+}
+
+type rotorOOBDeliver struct{}
+
+func (rotorOOBDeliver) OnEvent(arg any) {
+	p := arg.(*Packet)
+	dst := p.dst
+	p.dst = nil
+	dst.Receive(p, nil)
 }
 
 func init() {
@@ -69,6 +101,8 @@ func NewRotorNetSim(eng *eventsim.Engine, cfg Config, topo *topology.RotorNet) *
 		n.hosts[h] = host
 		host.SetNIC(NewPort(eng, n.cfg, fmt.Sprintf("host%d->tor%d", h, host.Rack), n.tors[host.Rack]))
 	}
+	n.tick.n = n
+	n.blackout.n = n
 	for r := 0; r < topo.NumRacks; r++ {
 		n.tors[r].wire()
 	}
@@ -169,19 +203,12 @@ func (n *RotorNetSim) slotBoundary(s int64) {
 		}
 	}
 	// And all go dark together before the next boundary.
-	n.eng.After(dur-r, func() {
-		for _, tor := range n.tors {
-			for _, pt := range tor.up {
-				pt.SetEnabled(false)
-				pt.FlushForReconfig(tor.requeue)
-			}
-		}
-	})
+	n.eng.AfterCall(dur-r, &n.blackout, nil)
 	for _, fn := range n.listeners {
 		fn(s)
 	}
 	if !n.stopped {
-		n.eng.After(dur, func() { n.slotBoundary(s + 1) })
+		n.eng.AfterCall(dur, &n.tick, nil)
 	}
 }
 
@@ -246,8 +273,8 @@ func (t *RotorToR) Receive(p *Packet, _ *Port) {
 		return
 	}
 	// Non-hybrid: out-of-band control channel (NACKs only).
-	dst := t.net.hosts[p.DstHost]
-	t.net.eng.After(2*eventsim.Microsecond, func() { dst.Receive(p, nil) })
+	p.dst = t.net.hosts[p.DstHost]
+	t.net.eng.AfterCall(2*eventsim.Microsecond, t.net.oob, p)
 }
 
 func (t *RotorToR) receiveBulk(p *Packet) {

@@ -84,9 +84,12 @@ func (s *Sample) Stddev() float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using nearest-rank
-// interpolation, or NaN if empty. Percentile(50) is the median;
-// Percentile(99) is the tail metric the paper reports.
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks — quantile type 7, the numpy/R
+// default: h = p/100·(n−1), interpolating between the floor(h)-th and
+// ceil(h)-th order statistics — or NaN if empty. Percentile(50) is the
+// median; Percentile(99) is the tail metric the paper reports. These are
+// the semantics every figure in this repository is generated with.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
 		return math.NaN()

@@ -254,3 +254,46 @@ func TestCounter(t *testing.T) {
 		t.Fatalf("after merge = %+v", c)
 	}
 }
+
+// TestPercentileType7Pinned locks down the quantile semantics every figure
+// is generated with: linear interpolation between closest ranks (type 7,
+// the numpy/R default), NOT nearest-rank — the doc comment once claimed
+// nearest-rank while the implementation interpolated. Each case includes a
+// value where the two conventions disagree, so a silent switch of either
+// the code or the doc breaks this test.
+func TestPercentileType7Pinned(t *testing.T) {
+	var quartiles Sample
+	quartiles.AddAll(10, 20, 30, 40)
+	var decade Sample
+	for i := 1; i <= 10; i++ {
+		decade.Add(float64(i))
+	}
+	var centile Sample
+	for i := 1; i <= 100; i++ {
+		centile.Add(float64(i))
+	}
+	cases := []struct {
+		name string
+		s    *Sample
+		p    float64
+		want float64 // type-7; nearest-rank would differ where noted
+	}{
+		{"quartiles-p25", &quartiles, 25, 17.5}, // nearest-rank: 10
+		{"quartiles-p50", &quartiles, 50, 25},   // nearest-rank: 20
+		{"quartiles-p75", &quartiles, 75, 32.5}, // nearest-rank: 30
+		{"quartiles-p10", &quartiles, 10, 13},
+		{"decade-p90", &decade, 90, 9.1},     // nearest-rank: 9
+		{"decade-p99", &decade, 99, 9.91},    // nearest-rank: 10
+		{"centile-p99", &centile, 99, 99.01}, // nearest-rank: 99
+		{"centile-p50", &centile, 50, 50.5},  // nearest-rank: 50
+	}
+	for _, c := range cases {
+		if got := c.s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Percentile(%v) = %v, want type-7 value %v", c.name, c.p, got, c.want)
+		}
+	}
+	// P99 and Median are aliases of the same interpolating quantile.
+	if centile.P99() != centile.Percentile(99) || quartiles.Median() != 25 {
+		t.Error("P99/Median do not alias the type-7 quantile")
+	}
+}
