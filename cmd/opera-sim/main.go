@@ -13,6 +13,12 @@
 //	opera-sim -network opera -trace flows.txt
 //	opera-sim -network opera -workload shuffle -tag shuffle \
 //	    -fail-at 500us:link:3:2,2ms:recover-link:3:2
+//	opera-sim -network opera -workload datamining -duration 10s \
+//	    -retention sketch
+//
+// The last form runs flat-memory: completed flows feed streaming
+// quantile sketches (±1% pinned error, see -sketch-alpha) instead of
+// being retained, so arbitrarily long windows hold only active flows.
 package main
 
 import (
@@ -127,6 +133,9 @@ func main() {
 		"(link:R:S | tor:R | switch:S | recover-link:R:S | recover-tor:R | recover-switch:S | random-links:FRAC), "+
 		"e.g. \"500us:link:3:2,2ms:recover-link:3:2\"")
 	tagName := flag.String("tag", "", "tag generated flows; per-tag stats are reported")
+	retention := flag.String("retention", "all",
+		"metrics retention: all (exact, retains every flow) | sketch (streaming quantile sketches, flat memory for unbounded runs)")
+	sketchAlpha := flag.Float64("sketch-alpha", 0.01, "relative-error bound for -retention sketch")
 	flag.Parse()
 
 	events, err := parseFaultSchedule(*failAt)
@@ -212,19 +221,30 @@ func main() {
 		gen = scenario.TagSource(*tagName, gen)
 	}
 
+	opts := []opera.Option{
+		opera.WithRacks(*racks),
+		opera.WithHostsPerRack(*hostsPerRack),
+		opera.WithUplinks(*uplinks),
+		opera.WithClos(*closK, *closF),
+		// §5.6's throughput patterns are bulk workloads: application-tag
+		// them so Opera serves them on direct circuits regardless of size.
+		opera.WithAppTaggedBulk(*wl == "shuffle" || *wl == "hotrack" || *wl == "permutation"),
+	}
+	switch *retention {
+	case "all":
+	case "sketch":
+		opts = append(opts,
+			opera.WithRetention(opera.RetainSketch(opera.SketchOptions{Alpha: *sketchAlpha})))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -retention %q (want all or sketch)\n", *retention)
+		os.Exit(2)
+	}
+
 	sc := scenario.Scenario{
-		Name: *network,
-		Kind: kind,
-		Seed: *seed,
-		Options: []opera.Option{
-			opera.WithRacks(*racks),
-			opera.WithHostsPerRack(*hostsPerRack),
-			opera.WithUplinks(*uplinks),
-			opera.WithClos(*closK, *closF),
-			// §5.6's throughput patterns are bulk workloads: application-tag
-			// them so Opera serves them on direct circuits regardless of size.
-			opera.WithAppTaggedBulk(*wl == "shuffle" || *wl == "hotrack" || *wl == "permutation"),
-		},
+		Name:     *network,
+		Kind:     kind,
+		Seed:     *seed,
+		Options:  opts,
 		Sources:  []scenario.Source{gen},
 		Events:   events,
 		Duration: dur * eventsim.Time(*drain),
@@ -264,6 +284,14 @@ func main() {
 	}
 	fmt.Printf("  throughput=%.2f Gb/s aggregate-tax=%.1f%% bulk-NACKs=%d sim-events=%d\n",
 		res.ThroughputGbps, 100*res.AggregateTax, res.BulkNACKs, res.SimEvents)
+	if tel := res.Telemetry; tel != nil {
+		fmt.Printf("  telemetry (sketch, ±%.2g%%): p90=%.1fµs p99=%.1fµs p99.9=%.1fµs\n",
+			100*tel.ErrorBound, tel.All.P90Us, tel.All.P99Us, tel.All.P999Us)
+		if n := len(tel.WindowGbps); n > 0 {
+			fmt.Printf("  trailing window: %d×%.1fms bins from t=%.1fms, last-bin throughput=%.2f Gb/s window-tax=%.1f%%\n",
+				n, tel.WindowBinMs, tel.WindowStartMs, tel.WindowGbps[n-1], 100*tel.WindowTax)
+		}
+	}
 	if len(res.ByTag) > 0 {
 		tags := make([]string, 0, len(res.ByTag))
 		for t := range res.ByTag {

@@ -201,6 +201,15 @@ func (ep *Endpoint) recvState(p *sim.Packet) *recvFlow {
 func (ep *Endpoint) onData(p *sim.Packet) {
 	rf := ep.recvState(p)
 	if rf == nil {
+		// Under streaming retention a completed flow's state (registry
+		// entry, receiver bitmap) has been released; a straggler
+		// retransmission of an already-delivered packet still needs its
+		// ACK — addressed from the packet's own header — or the sender's
+		// RTO would retransmit forever. Under RetainAll the registry is
+		// never pruned, so unknown flows are genuinely bogus and dropped.
+		if ep.metrics.Streaming() && !p.Trimmed {
+			ep.sendCtrlTo(sim.KindAck, p.FlowID, p.DstHost, p.DstRack, p.SrcHost, p.SrcRack, p.Seq, 0)
+		}
 		p.Release()
 		return
 	}
@@ -224,6 +233,11 @@ func (ep *Endpoint) onData(p *sim.Packet) {
 	ep.sendCtrl(sim.KindAck, rf.f, p.Seq, 0)
 	if !rf.complete() {
 		ep.addPullCredit(rf.f.ID)
+	} else if ep.metrics.Streaming() {
+		// Streaming retention: the flow's statistics were absorbed at
+		// FlowDone above, so drop the receiver state (bitmap, flow ref) —
+		// the per-flow memory that would otherwise accumulate forever.
+		delete(ep.recvFlows, p.FlowID)
 	}
 	p.Release()
 }
@@ -239,6 +253,12 @@ func (ep *Endpoint) onAck(p *sim.Packet) {
 		if sf.nAcked == sf.total {
 			sf.done = true
 			sf.rto.Stop()
+			if ep.metrics.Streaming() {
+				// Fully acknowledged and timer stopped: nothing can need
+				// this sender state again, so release it (streaming
+				// retention keeps per-flow memory O(active flows)).
+				delete(ep.sendFlows, p.FlowID)
+			}
 		} else {
 			sf.rto.Arm(ep.params.RTO)
 		}
@@ -291,13 +311,19 @@ func (ep *Endpoint) onRTO(sf *sendFlow) {
 // sendCtrl emits a control packet (ACK/NACK/PULL) back to the flow's
 // sender.
 func (ep *Endpoint) sendCtrl(kind sim.Kind, f *sim.Flow, seq int32, pullNo int32) {
+	ep.sendCtrlTo(kind, f.ID, f.DstHost, f.DstRack, f.SrcHost, f.SrcRack, seq, pullNo)
+}
+
+// sendCtrlTo is sendCtrl with explicit addressing — the form the
+// streaming-retention straggler ACK uses once the flow record is gone.
+func (ep *Endpoint) sendCtrlTo(kind sim.Kind, flowID int64, srcHost, srcRack, dstHost, dstRack, seq, pullNo int32) {
 	p := sim.NewPacket()
 	p.Kind = kind
 	p.Class = sim.ClassControl
-	p.SrcHost, p.DstHost = f.DstHost, f.SrcHost
-	p.SrcRack, p.DstRack = f.DstRack, f.SrcRack
+	p.SrcHost, p.DstHost = srcHost, dstHost
+	p.SrcRack, p.DstRack = srcRack, dstRack
 	p.Size = int32(ep.host.Config().HeaderBytes)
-	p.FlowID = f.ID
+	p.FlowID = flowID
 	p.Seq = seq
 	p.PullNo = pullNo
 	ep.host.Send(p)

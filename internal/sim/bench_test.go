@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/telemetry"
 )
 
 // drainNode releases everything it receives — a pure sink for hot-path
@@ -61,4 +62,26 @@ func BenchmarkPortEnqueueBacklogged(b *testing.B) {
 		pt.Enqueue(p)
 		eng.RunUntil(eng.Now() + step)
 	}
+}
+
+// benchFlowDone drives AddFlow+FlowDone through b.N synthetic flows — the
+// per-completion Metrics cost a soak pays — under the given retention.
+func benchFlowDone(b *testing.B, r RetentionPolicy) {
+	m := NewMetrics()
+	m.SetRetention(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &Flow{ID: int64(i), Size: 10_000, Class: ClassLowLatency, Start: eventsim.Time(i)}
+		m.AddFlow(f)
+		m.FlowDone(f, eventsim.Time(i)+1500)
+	}
+}
+
+// BenchmarkMetricsFlowDone compares the completion hot path across
+// retention policies: RetainAll appends to the flow table; RetainSketch
+// feeds the quantile sketch and retains nothing.
+func BenchmarkMetricsFlowDone(b *testing.B) {
+	b.Run("retain-all", func(b *testing.B) { benchFlowDone(b, RetainAll()) })
+	b.Run("retain-sketch", func(b *testing.B) { benchFlowDone(b, RetainSketch(telemetry.Opts{})) })
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/stats"
+	"github.com/opera-net/opera/internal/telemetry"
 )
 
 // Flow is one transfer between two hosts. Transports update its progress;
@@ -36,12 +37,20 @@ func (f *Flow) FCT() eventsim.Time { return f.End - f.Start }
 
 // Metrics aggregates simulation-wide observations. The simulator is
 // single-threaded, so no locking is needed.
+//
+// Completed flows are retained according to the RetentionPolicy (see
+// SetRetention): RetainAll (the default) keeps every *Flow for exact
+// statistics; RetainSketch absorbs each completion into streaming
+// sketches and releases the flow, keeping memory flat on unbounded runs.
 type Metrics struct {
-	flows []*Flow
-	done  int // flows completed, maintained incrementally by FlowDone
+	flows []*Flow // retained completions (RetainAll only)
+	total int     // flows registered, maintained incrementally by AddFlow
+	done  int     // flows completed, maintained incrementally by FlowDone
 
 	// DeliveredBytes tracks application bytes arriving at receivers over
-	// time (Figure 8's throughput series), binned at 1 ms.
+	// time (Figure 8's throughput series), binned at 1 ms. It is nil under
+	// RetainSketch — the unbounded per-bin series is what streaming
+	// retention avoids; use DeliveredTotal or Telemetry().Delivered().
 	DeliveredBytes *stats.TimeSeries
 
 	// UplinkBytes counts ToR-to-ToR traversals per class — the denominator
@@ -53,6 +62,11 @@ type Metrics struct {
 
 	// OnFlowDone, when set, is invoked as flows complete.
 	OnFlowDone func(*Flow)
+
+	// tel absorbs completions under RetainSketch; release runs afterwards
+	// so per-flow state owners can drop their references.
+	tel     *telemetry.Collector
+	release []func(*Flow)
 }
 
 // NewMetrics returns an empty metrics collector.
@@ -60,13 +74,24 @@ func NewMetrics() *Metrics {
 	return &Metrics{DeliveredBytes: stats.NewTimeSeries(0.001)}
 }
 
-// AddFlow registers a flow.
-func (m *Metrics) AddFlow(f *Flow) { m.flows = append(m.flows, f) }
+// AddFlow registers a flow. Under RetainSketch only counters (and the
+// flow's tag tally) are updated — the *Flow is never retained here.
+func (m *Metrics) AddFlow(f *Flow) {
+	m.total++
+	if m.tel != nil {
+		m.tel.FlowAdded(f.Tag)
+		return
+	}
+	m.flows = append(m.flows, f)
+}
 
-// Flows returns all registered flows.
+// Flows returns all retained flows. Under RetainSketch nothing is
+// retained and the slice is empty; consume Telemetry() instead.
 func (m *Metrics) Flows() []*Flow { return m.flows }
 
-// FlowDone marks f complete at time now.
+// FlowDone marks f complete at time now. Under RetainSketch the flow's
+// statistics are absorbed into the collector and the release hooks fire —
+// after this call no Metrics state references f.
 func (m *Metrics) FlowDone(f *Flow, now eventsim.Time) {
 	if f.Done {
 		return
@@ -77,17 +102,39 @@ func (m *Metrics) FlowDone(f *Flow, now eventsim.Time) {
 	if m.OnFlowDone != nil {
 		m.OnFlowDone(f)
 	}
+	if m.tel != nil {
+		m.tel.FlowDone(int(f.Class), f.Tag, f.FCT().Micros(), f.BytesRcvd)
+		for _, fn := range m.release {
+			fn(f)
+		}
+	}
 }
 
 // RecordDelivery accounts app bytes arriving at a receiver: hops is the
 // number of ToR-to-ToR traversals the bytes took (0 for rack-local).
 func (m *Metrics) RecordDelivery(f *Flow, bytes int, hops int, now eventsim.Time) {
 	f.BytesRcvd += int64(bytes)
-	m.DeliveredBytes.Record(now.Seconds(), float64(bytes))
+	if m.tel != nil {
+		m.tel.RecordDelivered(now.Seconds(), float64(bytes))
+	} else {
+		m.DeliveredBytes.Record(now.Seconds(), float64(bytes))
+	}
 	if hops > 0 {
 		m.GoodputBytes[f.Class] += uint64(bytes)
 		m.UplinkBytes[f.Class] += uint64(bytes * hops)
+		if m.tel != nil {
+			m.tel.RecordTax(now.Seconds(), float64(bytes), float64(bytes*hops))
+		}
 	}
+}
+
+// DeliveredTotal returns the total application bytes delivered, exact
+// under both retention policies.
+func (m *Metrics) DeliveredTotal() float64 {
+	if m.tel != nil {
+		return m.tel.Delivered().Total()
+	}
+	return m.DeliveredBytes.Total()
 }
 
 // BandwidthTax returns the effective bandwidth-tax rate for a class: extra
@@ -110,7 +157,8 @@ func (m *Metrics) AggregateTax() float64 {
 }
 
 // FCTSample collects completion times (in µs) of done flows matching the
-// filter (nil = all).
+// filter (nil = all). Exact samples exist only under RetainAll; under
+// RetainSketch the sample is empty — query Telemetry() sketches instead.
 func (m *Metrics) FCTSample(filter func(*Flow) bool) *stats.Sample {
 	var s stats.Sample
 	for _, f := range m.flows {
@@ -129,5 +177,5 @@ func (m *Metrics) FCTSample(filter func(*Flow) bool) *stats.Sample {
 // (Cluster.RunUntilDone checks every 100 µs) costs nothing per registered
 // flow — the old per-call rescan made long soaks quadratic in flow count.
 func (m *Metrics) DoneCount() (done, total int) {
-	return m.done, len(m.flows)
+	return m.done, m.total
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/telemetry"
 )
 
 func TestFCTSampleFilter(t *testing.T) {
@@ -122,4 +123,94 @@ func TestDoneCountIncremental(t *testing.T) {
 	if done != 100 || total != 100 {
 		t.Fatalf("final DoneCount = (%d, %d), want (100, 100)", done, total)
 	}
+}
+
+// Streaming retention releases every completed flow: Metrics retains
+// nothing, the sketches absorb the statistics, and release hooks let
+// other owners drop their references.
+func TestRetainSketchReleasesFlows(t *testing.T) {
+	m := NewMetrics()
+	m.SetRetention(RetainSketch(telemetry.Opts{}))
+	if !m.Streaming() || m.Telemetry() == nil {
+		t.Fatal("RetainSketch should report Streaming with a collector")
+	}
+	var released []int64
+	m.ReleaseHook(func(f *Flow) { released = append(released, f.ID) })
+
+	a := &Flow{ID: 1, Size: 100, Class: ClassLowLatency, Tag: "ws"}
+	b := &Flow{ID: 2, Size: 100, Class: ClassBulk, Tag: "ws"}
+	c := &Flow{ID: 3, Size: 100, Class: ClassLowLatency}
+	for _, f := range []*Flow{a, b, c} {
+		m.AddFlow(f)
+	}
+	m.RecordDelivery(a, 100, 2, 500)
+	m.FlowDone(a, 1000)
+	m.FlowDone(a, 2000) // idempotent: no double absorb, no double release
+	m.FlowDone(b, 3000)
+
+	if n := len(m.Flows()); n != 0 {
+		t.Fatalf("streaming retention kept %d flows", n)
+	}
+	done, total := m.DoneCount()
+	if done != 2 || total != 3 {
+		t.Fatalf("DoneCount = (%d, %d), want (2, 3)", done, total)
+	}
+	if len(released) != 2 || released[0] != 1 || released[1] != 2 {
+		t.Fatalf("released = %v, want [1 2]", released)
+	}
+	tel := m.Telemetry()
+	if got := tel.ClassSketch(int(ClassLowLatency)).Count(); got != 1 {
+		t.Fatalf("low-latency sketch count = %d", got)
+	}
+	if got := tel.Merged().Count(); got != 2 {
+		t.Fatalf("merged sketch count = %d", got)
+	}
+	ws := tel.Tags()["ws"]
+	if ws == nil || ws.Done != 2 || ws.Total != 2 || ws.Bytes != 100 {
+		t.Fatalf("tag tally = %+v", ws)
+	}
+	// FCTs entered in microseconds: flow a completed at 1000 ns = 1 µs.
+	if p := tel.ClassSketch(int(ClassLowLatency)).Quantile(0.5); math.Abs(p-1) > 0.02 {
+		t.Fatalf("LL p50 = %v µs, want ~1", p)
+	}
+}
+
+// Delivered bytes stay exact under streaming retention even once bins
+// rotate out of the trailing window, and the windowed tax matches the
+// exact counters when everything fits the window.
+func TestRetainSketchDeliveredAndTax(t *testing.T) {
+	m := NewMetrics()
+	m.SetRetention(RetainSketch(telemetry.Opts{WindowBin: 0.001, WindowBins: 4}))
+	f := &Flow{ID: 1, Size: 1 << 30, Class: ClassBulk}
+	m.AddFlow(f)
+	for i := 0; i < 20; i++ { // 20 ms ≫ the 4 ms window
+		m.RecordDelivery(f, 1000, 2, eventsim.Time(i)*eventsim.Millisecond)
+	}
+	if got := m.DeliveredTotal(); got != 20_000 {
+		t.Fatalf("DeliveredTotal = %v, want 20000", got)
+	}
+	if m.DeliveredBytes != nil {
+		t.Fatal("exact DeliveredBytes series should be nil under RetainSketch")
+	}
+	if tax := m.AggregateTax(); math.Abs(tax-1) > 1e-9 {
+		t.Fatalf("exact tax = %v, want 1 (2 hops per byte)", tax)
+	}
+	tel := m.Telemetry()
+	if good := tel.Goodput().WindowTotal(); good != 4_000 {
+		t.Fatalf("windowed goodput = %v, want 4000 (4 retained bins)", good)
+	}
+	if up := tel.Uplink().WindowTotal(); up != 8_000 {
+		t.Fatalf("windowed uplink bytes = %v, want 8000", up)
+	}
+}
+
+func TestSetRetentionAfterFlowsPanics(t *testing.T) {
+	m := NewMetrics()
+	m.AddFlow(&Flow{ID: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetRetention after AddFlow should panic")
+		}
+	}()
+	m.SetRetention(RetainSketch(telemetry.Opts{}))
 }

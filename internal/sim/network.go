@@ -49,10 +49,15 @@ type Transport interface {
 // FaultInjector schedules runtime failures (and recoveries) into a live
 // fabric: links, ToRs and circuit switches go down mid-run. Fabrics that
 // model runtime faults implement FaultNetwork; today that is OperaNet
-// (§3.6.2's detection-and-epidemic model, FailureState) and ExpanderNet
-// (instant link-state reconvergence, ExpanderFaults). Coordinates are
-// fabric-specific — for Opera, sw names a rotor switch; for the expander,
-// it names a ToR's neighbor slot and FailSwitch has no referent.
+// (§3.6.2's detection-and-epidemic model, FailureState), ExpanderNet
+// (instant link-state reconvergence, ExpanderFaults) and RotorNetSim
+// (instant global knowledge over the OOB management channel,
+// RotorFaults). Coordinates are fabric-specific — for Opera and RotorNet,
+// sw names a rotor switch; for the expander, it names a ToR's neighbor
+// slot and FailSwitch has no referent. The folded Clos does not implement
+// FaultNetwork: its links need multi-tier (tier, switch, port)
+// coordinates this flat surface cannot name, so Clos fault injection
+// stays deferred.
 type FaultInjector interface {
 	FailLink(rack, sw int, at eventsim.Time)
 	FailToR(rack int, at eventsim.Time)
@@ -149,6 +154,8 @@ var (
 	_ CircuitNetwork = (*RotorNetSim)(nil)
 	_ FaultNetwork   = (*OperaNet)(nil)
 	_ FaultNetwork   = (*ExpanderNet)(nil)
+	_ FaultNetwork   = (*RotorNetSim)(nil)
 	_ FaultInjector  = (*FailureState)(nil)
 	_ FaultInjector  = (*ExpanderFaults)(nil)
+	_ FaultInjector  = (*RotorFaults)(nil)
 )

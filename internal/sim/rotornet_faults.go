@@ -1,0 +1,117 @@
+package sim
+
+import "github.com/opera-net/opera/internal/eventsim"
+
+// This file brings runtime fault injection to RotorNet — the third fabric
+// to implement FaultInjector after Opera (§3.6.2's detection-and-epidemic
+// model) and the static expander (instant link-state reconvergence). The
+// folded Clos remains the one fabric without an injector: its links need
+// multi-tier coordinates (tier, switch, port) that the flat (rack, sw)
+// FaultInjector surface cannot name, so it stays deferred.
+//
+// The failure-information model is simpler than Opera's epidemic: RotorNet
+// assumes an out-of-band management channel to keep its rotors
+// slot-synchronized (this simulator models that channel explicitly — the
+// 2 µs path RotorLB NACKs ride in the non-hybrid variant), and failure
+// news is assumed to travel it too. Knowledge is therefore global and
+// immediate: from the failure instant every ToR routes around dead
+// circuits. Concretely, when a rack↔rotor-switch cable fails:
+//
+//   - ToRs stop selecting the dead circuit (DirectSwitch hits are vetoed,
+//     ActiveCircuits excludes it), so RotorLB offloads stranded queues via
+//     VLB relays or NACKs mistimed packets as usual (§4.2.2);
+//   - packets already queued on the dead uplink are lost when their
+//     transmission resolves no peer (bulk takes the NACK path, counted in
+//     LostToDeadCircuits otherwise);
+//   - a transmission already on the wire still delivers.
+//
+// ToR failures darken every rotor circuit of the rack; its hosts become
+// unreachable from other racks while rack-local traffic still flows. In
+// the hybrid variant the dedicated packet fabric is a separate network
+// (the +33%-cost addition of §5.1) and is not modelled as failing with
+// the rotor side. Switch failures take a whole rotor switch — one uplink
+// per ToR — out of rotation.
+
+// RotorFaults implements FaultInjector for RotorNetSim. The sw coordinate
+// of FailLink/FailSwitch names a rotor switch in [0, NumSwitches) — the
+// hybrid variant's packet uplink is not a fault coordinate.
+type RotorFaults struct {
+	net *RotorNetSim
+
+	linkDown [][]bool // [rack][switch]
+	torDown  []bool
+	swDown   []bool
+
+	// LostToDeadCircuits counts packets that sailed into a failed circuit
+	// (all classes, like Opera's LostToDeadLinks): bulk ones are then
+	// recovered through the §4.2.2 NACK path, control/low-latency ones
+	// rely on transport retransmission.
+	LostToDeadCircuits uint64
+}
+
+func newRotorFaults(n *RotorNetSim) *RotorFaults {
+	rf := &RotorFaults{net: n}
+	rf.linkDown = make([][]bool, n.topo.NumRacks)
+	for r := range rf.linkDown {
+		rf.linkDown[r] = make([]bool, n.topo.NumSwitches)
+	}
+	rf.torDown = make([]bool, n.topo.NumRacks)
+	rf.swDown = make([]bool, n.topo.NumSwitches)
+	return rf
+}
+
+// Faults returns the network's failure state, creating it lazily.
+func (n *RotorNetSim) Faults() *RotorFaults {
+	if n.faults == nil {
+		n.faults = newRotorFaults(n)
+	}
+	return n.faults
+}
+
+// FaultInjector implements FaultNetwork.
+func (n *RotorNetSim) FaultInjector() FaultInjector { return n.Faults() }
+
+// Uplinks returns the rotor-switch count — the range of the FailLink and
+// FailSwitch sw coordinate.
+func (n *RotorNetSim) Uplinks() int { return n.topo.NumSwitches }
+
+// LinkUp reports whether the rack↔rotor-switch cable is intact and both
+// ends functional.
+func (rf *RotorFaults) LinkUp(rack, sw int) bool {
+	return !rf.linkDown[rack][sw] && !rf.torDown[rack] && !rf.swDown[sw]
+}
+
+// FailLink schedules the rack↔rotor-switch cable to fail at the given
+// time.
+func (rf *RotorFaults) FailLink(rack, sw int, at eventsim.Time) {
+	rf.net.eng.At(at, func() { rf.linkDown[rack][sw] = true })
+}
+
+// RecoverLink schedules the cable back up; circuits over it are used
+// again from the next slot that installs them.
+func (rf *RotorFaults) RecoverLink(rack, sw int, at eventsim.Time) {
+	rf.net.eng.At(at, func() { rf.linkDown[rack][sw] = false })
+}
+
+// FailToR schedules a whole ToR to fail: all of its rotor circuits go
+// dark and its hosts become unreachable from other racks (rack-local
+// traffic still flows).
+func (rf *RotorFaults) FailToR(rack int, at eventsim.Time) {
+	rf.net.eng.At(at, func() { rf.torDown[rack] = true })
+}
+
+// RecoverToR schedules a failed ToR back online.
+func (rf *RotorFaults) RecoverToR(rack int, at eventsim.Time) {
+	rf.net.eng.At(at, func() { rf.torDown[rack] = false })
+}
+
+// FailSwitch schedules a rotor switch to fail entirely: one uplink per
+// ToR leaves the rotation.
+func (rf *RotorFaults) FailSwitch(sw int, at eventsim.Time) {
+	rf.net.eng.At(at, func() { rf.swDown[sw] = true })
+}
+
+// RecoverSwitch schedules a failed rotor switch back into rotation.
+func (rf *RotorFaults) RecoverSwitch(sw int, at eventsim.Time) {
+	rf.net.eng.At(at, func() { rf.swDown[sw] = false })
+}

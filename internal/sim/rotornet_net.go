@@ -27,6 +27,10 @@ type RotorNetSim struct {
 	fabric  *hybridFabric
 	metrics *Metrics
 
+	// faults tracks runtime failures; see rotornet_faults.go for the
+	// instant-global-knowledge model (OOB management channel).
+	faults *RotorFaults
+
 	curSlot   int64
 	listeners []func(absSlot int64)
 	stopped   bool
@@ -164,9 +168,29 @@ func (n *RotorNetSim) SliceDuration() eventsim.Time { return n.topo.SlotDuration
 // slot per cycle.
 func (n *RotorNetSim) PairWindowsPerCycle() int { return 1 }
 
-// DirectReachable implements CircuitNetwork (RotorNetSim has no runtime
-// failure model).
-func (n *RotorNetSim) DirectReachable(rack, dst int) bool { return rack != dst }
+// DirectReachable implements CircuitNetwork: whether some slot of the
+// cycle still installs a working direct circuit between the racks. With
+// no failures every distinct pair connects; under faults the pair's
+// matching slots are checked against live links, which is what makes
+// RotorLB fully offload stranded queues via VLB and decline relaying
+// toward unreachable destinations.
+func (n *RotorNetSim) DirectReachable(rack, dst int) bool {
+	if rack == dst {
+		return false
+	}
+	if n.faults == nil {
+		return true
+	}
+	for slot := 0; slot < n.topo.SlotsPerCycle(); slot++ {
+		// The 1-factorization installs at most one switch connecting a
+		// pair per slot, so DirectSwitch's first hit is the only one.
+		if sw := n.topo.DirectSwitch(slot, rack, dst); sw >= 0 &&
+			n.faults.LinkUp(rack, sw) && n.faults.LinkUp(dst, sw) {
+			return true
+		}
+	}
+	return false
+}
 
 // OnSlice implements CircuitNetwork.
 func (n *RotorNetSim) OnSlice(fn func(absSlot int64)) {
@@ -182,6 +206,11 @@ func (n *RotorNetSim) ActiveCircuits(absSlot int64, rack int) []Circuit {
 	for sw := 0; sw < n.topo.NumSwitches; sw++ {
 		peer := n.topo.SwitchMatching(sw, slot).Peer(rack)
 		if peer == rack || end <= start {
+			continue
+		}
+		// Dead circuits are excluded — failure news is global and immediate
+		// over the OOB management channel (see rotornet_faults.go).
+		if n.faults != nil && (!n.faults.LinkUp(rack, sw) || !n.faults.LinkUp(peer, sw)) {
 			continue
 		}
 		out = append(out, Circuit{Switch: sw, Peer: peer, WindowStart: start, WindowEnd: end})
@@ -244,6 +273,10 @@ func (t *RotorToR) wire() {
 			if peer == int(t.rack) {
 				return nil
 			}
+			if fs := n.faults; fs != nil && (!fs.LinkUp(int(t.rack), sw) || !fs.LinkUp(peer, sw)) {
+				fs.LostToDeadCircuits++
+				return nil // failed cable, switch, or ToR: the photons are lost
+			}
 			return n.tors[peer]
 		}
 		t.up[sw] = NewDynamicPort(n.eng, n.cfg, fmt.Sprintf("tor%d-rotor%d", t.rack, sw), resolve)
@@ -294,6 +327,14 @@ func (t *RotorToR) receiveBulk(p *Packet) {
 	slot, _, _ := t.net.topo.SlotAt(t.net.eng.Now())
 	sw := t.net.topo.DirectSwitch(slot, int(t.rack), target)
 	if sw < 0 {
+		t.bulkNACK(p)
+		return
+	}
+	// Failure knowledge is global and immediate (OOB channel), so unlike
+	// Opera — where only the near end is known locally — a ToR declines
+	// circuits dead at either end and NACKs instead of transmitting into
+	// the dark.
+	if fs := t.net.faults; fs != nil && (!fs.LinkUp(int(t.rack), sw) || !fs.LinkUp(target, sw)) {
 		t.bulkNACK(p)
 		return
 	}

@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSketchAdd measures the per-observation cost of the quantile
+// sketch — the incremental work FlowDone pays under sketch retention. The
+// values are pre-drawn so the benchmark isolates Add from the RNG.
+func BenchmarkSketchAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1<<14)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64()*2 + 5)
+	}
+	s := NewSketch(0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(xs[i&(1<<14-1)])
+	}
+}
+
+// BenchmarkWindowRecord measures the trailing-window ring update — the
+// per-delivery cost of the windowed throughput/tax series.
+func BenchmarkWindowRecord(b *testing.B) {
+	w := NewWindow(0.001, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Record(float64(i)*1e-6, 1500)
+	}
+}

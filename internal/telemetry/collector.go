@@ -1,0 +1,147 @@
+package telemetry
+
+// Opts configures a Collector — the knobs sim.RetainSketch exposes.
+type Opts struct {
+	// Alpha is the quantile sketches' relative-error bound; 0 means
+	// DefaultAlpha (1%).
+	Alpha float64
+	// WindowBin is the trailing-window bin width in seconds; 0 means 1 ms
+	// (the bin width of the exact DeliveredBytes series).
+	WindowBin float64
+	// WindowBins is how many trailing bins the throughput and tax windows
+	// retain; 0 means 128.
+	WindowBins int
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Alpha == 0 {
+		o.Alpha = DefaultAlpha
+	}
+	if o.WindowBin == 0 {
+		o.WindowBin = 0.001
+	}
+	if o.WindowBins == 0 {
+		o.WindowBins = 128
+	}
+	return o
+}
+
+// TagTally aggregates one workload tag's flows under sketch retention:
+// completion counts, the FCT sketch of the finished ones, and their
+// delivered application bytes. Bytes counts completed flows only — the
+// in-flight bytes of unfinished flows are folded in when they complete,
+// unlike the exact path which can scan retained flows at any time.
+type TagTally struct {
+	Sketch      *Sketch
+	Done, Total int
+	Bytes       int64
+}
+
+// Collector is the flat-memory aggregate sim.Metrics drives under sketch
+// retention: one FCT sketch per service class, one per workload tag, and
+// trailing windows of delivered / goodput / uplink bytes. All methods are
+// O(1) (amortized) per observation; total state is O(classes + tags +
+// window + sketch buckets) regardless of flow count.
+type Collector struct {
+	opts    Opts
+	classes []*Sketch
+	tags    map[string]*TagTally
+
+	delivered *Window
+	goodput   *Window
+	uplink    *Window
+}
+
+// NewCollector returns an empty collector with per-class sketches for
+// class indices [0, numClasses).
+func NewCollector(opts Opts, numClasses int) *Collector {
+	opts = opts.withDefaults()
+	c := &Collector{
+		opts:      opts,
+		classes:   make([]*Sketch, numClasses),
+		delivered: NewWindow(opts.WindowBin, opts.WindowBins),
+		goodput:   NewWindow(opts.WindowBin, opts.WindowBins),
+		uplink:    NewWindow(opts.WindowBin, opts.WindowBins),
+	}
+	for i := range c.classes {
+		c.classes[i] = NewSketch(opts.Alpha)
+	}
+	return c
+}
+
+// Alpha returns the sketches' pinned relative-error bound.
+func (c *Collector) Alpha() float64 { return c.opts.Alpha }
+
+// FlowAdded accounts a newly registered flow (tagged ones count toward
+// their tag's total).
+func (c *Collector) FlowAdded(tag string) {
+	if tag == "" {
+		return
+	}
+	c.tally(tag).Total++
+}
+
+// FlowDone absorbs a completed flow: its completion time enters the class
+// (and tag) sketch, and its delivered bytes the tag tally. After this the
+// flow's state can be released.
+func (c *Collector) FlowDone(class int, tag string, fctMicros float64, bytesRcvd int64) {
+	c.classes[class].Add(fctMicros)
+	if tag == "" {
+		return
+	}
+	t := c.tally(tag)
+	t.Done++
+	t.Bytes += bytesRcvd
+	t.Sketch.Add(fctMicros)
+}
+
+func (c *Collector) tally(tag string) *TagTally {
+	t := c.tags[tag]
+	if t == nil {
+		if c.tags == nil {
+			c.tags = make(map[string]*TagTally)
+		}
+		t = &TagTally{Sketch: NewSketch(c.opts.Alpha)}
+		c.tags[tag] = t
+	}
+	return t
+}
+
+// RecordDelivered accounts application bytes arriving at a receiver.
+func (c *Collector) RecordDelivered(tSeconds, bytes float64) {
+	c.delivered.Record(tSeconds, bytes)
+}
+
+// RecordTax accounts one delivery's bandwidth-tax inputs: goodput bytes
+// and their ToR-to-ToR traversal bytes.
+func (c *Collector) RecordTax(tSeconds, goodput, uplink float64) {
+	c.goodput.Record(tSeconds, goodput)
+	c.uplink.Record(tSeconds, uplink)
+}
+
+// ClassSketch returns the FCT sketch of one service class.
+func (c *Collector) ClassSketch(class int) *Sketch { return c.classes[class] }
+
+// Merged returns a fresh sketch holding every class's observations —
+// the "all flows" distribution. Classes partition flows, so this equals
+// the sketch a single all-class feed would have produced.
+func (c *Collector) Merged() *Sketch {
+	s := NewSketch(c.opts.Alpha)
+	for _, cs := range c.classes {
+		s.Merge(cs)
+	}
+	return s
+}
+
+// Tags returns the per-tag tallies (nil map when no flow was tagged).
+// Callers must not mutate.
+func (c *Collector) Tags() map[string]*TagTally { return c.tags }
+
+// Delivered returns the trailing delivered-bytes window.
+func (c *Collector) Delivered() *Window { return c.delivered }
+
+// Goodput returns the trailing inter-rack goodput window.
+func (c *Collector) Goodput() *Window { return c.goodput }
+
+// Uplink returns the trailing ToR-to-ToR traversal-bytes window.
+func (c *Collector) Uplink() *Window { return c.uplink }

@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// checkQuantile asserts the sketch's pinned guarantee against the exact
+// sorted sample: Quantile(q) must be within alpha relative error of the
+// order statistics anchoring the type-7 rank h = q·(n−1).
+func checkQuantile(t *testing.T, s *Sketch, sorted []float64, q float64) {
+	t.Helper()
+	got := s.Quantile(q)
+	h := q * float64(len(sorted)-1)
+	lo := sorted[int(math.Floor(h))]
+	hi := sorted[int(math.Ceil(h))]
+	a := s.Alpha()
+	const slack = 1e-12
+	if got < lo*(1-a)-slack || got > hi*(1+a)+slack {
+		t.Fatalf("Quantile(%v) = %v outside [%v, %v] (order stats %v..%v, alpha %v)",
+			q, got, lo*(1-a), hi*(1+a), lo, hi, a)
+	}
+}
+
+// quantileProbes are the ranks every accuracy test checks — the paper's
+// tail metrics plus the median.
+var quantileProbes = []float64{0, 0.10, 0.50, 0.90, 0.99, 0.999, 1}
+
+func TestSketchRankGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dists := map[string]func() float64{
+		// Log-normal spanning several decades, like FCT distributions.
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64()*2 + 5) },
+		// Heavy-tailed Pareto-like: the datamining shape.
+		"heavytail": func() float64 { return 10 / math.Pow(rng.Float64()+1e-9, 1.5) },
+		"uniform":   func() float64 { return rng.Float64() * 1000 },
+		"constant":  func() float64 { return 42 },
+		// Two-point mass: exercises buckets with large counts.
+		"bimodal": func() float64 {
+			if rng.Intn(2) == 0 {
+				return 3
+			}
+			return 30_000
+		},
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			s := NewSketch(0.01)
+			xs := make([]float64, 50_000)
+			for i := range xs {
+				xs[i] = draw()
+				s.Add(xs[i])
+			}
+			sort.Float64s(xs)
+			for _, q := range quantileProbes {
+				checkQuantile(t, s, xs, q)
+			}
+			if s.Min() != xs[0] || s.Max() != xs[len(xs)-1] {
+				t.Fatalf("min/max not exact: %v/%v vs %v/%v", s.Min(), s.Max(), xs[0], xs[len(xs)-1])
+			}
+		})
+	}
+}
+
+// The sketch state is a pure function of the observation multiset:
+// shuffling the insertion order changes nothing (Sum to within an ulp).
+func TestSketchInsertionOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 10_000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64() * 3)
+	}
+	a, b := NewSketch(0.01), NewSketch(0.01)
+	for _, x := range xs {
+		a.Add(x)
+	}
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, x := range xs {
+		b.Add(x)
+	}
+	for _, q := range quantileProbes {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("Quantile(%v): %v vs %v after shuffle", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	if a.Count() != b.Count() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatal("count/min/max differ after shuffle")
+	}
+	if rel := math.Abs(a.Sum()-b.Sum()) / a.Sum(); rel > 1e-12 {
+		t.Fatalf("sums differ by %v relative", rel)
+	}
+}
+
+// Merging is exactly associative: any merge tree over shards produces
+// identical bucket state, hence identical quantiles — the property that
+// lets process-sharded sweeps combine results.
+func TestSketchMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shards := make([]*Sketch, 5)
+	whole := NewSketch(0.01)
+	for i := range shards {
+		shards[i] = NewSketch(0.01)
+		for j := 0; j < 4_000; j++ {
+			x := math.Exp(rng.NormFloat64()*2 + float64(i))
+			shards[i].Add(x)
+			whole.Add(x)
+		}
+	}
+	// Left fold, right fold, and pairwise tree.
+	left := NewSketch(0.01)
+	for _, sh := range shards {
+		left.Merge(sh)
+	}
+	right := NewSketch(0.01)
+	for i := len(shards) - 1; i >= 0; i-- {
+		right.Merge(shards[i])
+	}
+	ab, cd := NewSketch(0.01), NewSketch(0.01)
+	ab.Merge(shards[0])
+	ab.Merge(shards[1])
+	cd.Merge(shards[2])
+	cd.Merge(shards[3])
+	tree := NewSketch(0.01)
+	tree.Merge(ab)
+	tree.Merge(cd)
+	tree.Merge(shards[4])
+
+	for _, o := range []*Sketch{right, tree, whole} {
+		if left.Count() != o.Count() || left.Min() != o.Min() || left.Max() != o.Max() {
+			t.Fatal("count/min/max differ across merge orders")
+		}
+		for _, q := range quantileProbes {
+			if left.Quantile(q) != o.Quantile(q) {
+				t.Fatalf("Quantile(%v) differs across merge orders: %v vs %v", q, left.Quantile(q), o.Quantile(q))
+			}
+		}
+		if rel := math.Abs(left.Sum()-o.Sum()) / left.Sum(); rel > 1e-12 {
+			t.Fatalf("sums differ by %v relative", rel)
+		}
+	}
+}
+
+func TestSketchEmptyAndEdgeValues(t *testing.T) {
+	s := NewSketch(0)
+	if s.Alpha() != DefaultAlpha {
+		t.Fatalf("default alpha = %v", s.Alpha())
+	}
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) {
+		t.Fatal("empty sketch should answer NaN")
+	}
+	s.Add(0) // underflow bucket
+	s.Add(5)
+	if s.Count() != 2 || s.Min() != 0 || s.Max() != 5 {
+		t.Fatalf("count/min/max: %d %v %v", s.Count(), s.Min(), s.Max())
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := s.Quantile(1); q != 5 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative Add should panic")
+			}
+		}()
+		s.Add(-1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("alpha-mismatched Merge should panic")
+			}
+		}()
+		o := NewSketch(0.05)
+		o.Add(1)
+		s.Merge(o)
+	}()
+}
+
+// A single observation is reported within alpha at every rank, and the
+// merged empty sketch is a no-op.
+func TestSketchSingletonAndEmptyMerge(t *testing.T) {
+	s := NewSketch(0.01)
+	s.Add(123.456)
+	for _, q := range quantileProbes {
+		got := s.Quantile(q)
+		if math.Abs(got-123.456)/123.456 > 0.01 {
+			t.Fatalf("Quantile(%v) = %v, want ~123.456", q, got)
+		}
+	}
+	before := *s
+	s.Merge(NewSketch(0.01))
+	s.Merge(nil)
+	if !reflect.DeepEqual(before.buckets, s.buckets) || before.count != s.count {
+		t.Fatal("merging an empty sketch changed state")
+	}
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import "fmt"
+
+// Window accumulates amounts into fixed-width time bins like
+// stats.TimeSeries, but retains only the trailing Span bins — a ring — plus
+// an exact running total, so unbounded runs hold O(Span) state instead of
+// one bin per elapsed interval. It backs the throughput and bandwidth-tax
+// series of sketch-retention runs: the recent window stays inspectable
+// while month-old bins are forgotten (their contribution survives in
+// Total).
+//
+// Record times must be non-negative; the simulator's clock is monotone, so
+// bins older than the trailing window are never recorded into (Record
+// panics if one is — it would silently vanish from the rates otherwise).
+type Window struct {
+	binWidth float64 // seconds per bin
+	ring     []float64
+	head     int64 // absolute index of the newest bin covered; -1 when empty
+	total    float64
+}
+
+// NewWindow returns a window of bins trailing bins of the given width in
+// seconds.
+func NewWindow(binWidthSeconds float64, bins int) *Window {
+	if binWidthSeconds <= 0 {
+		panic("telemetry: non-positive bin width")
+	}
+	if bins <= 0 {
+		panic("telemetry: non-positive bin count")
+	}
+	return &Window{binWidth: binWidthSeconds, ring: make([]float64, bins), head: -1}
+}
+
+// BinWidth returns the width of each bin in seconds.
+func (w *Window) BinWidth() float64 { return w.binWidth }
+
+// Span returns how many trailing bins are retained.
+func (w *Window) Span() int { return len(w.ring) }
+
+// Record adds amount at time t seconds.
+func (w *Window) Record(t, amount float64) {
+	if t < 0 {
+		panic("telemetry: negative time")
+	}
+	bin := int64(t / w.binWidth)
+	switch {
+	case w.head < 0 || bin-w.head >= int64(len(w.ring)):
+		// First record, or a gap longer than the whole window: every
+		// retained bin is zero.
+		for i := range w.ring {
+			w.ring[i] = 0
+		}
+		w.head = bin
+	case bin > w.head:
+		for w.head < bin {
+			w.head++
+			w.ring[w.head%int64(len(w.ring))] = 0
+		}
+	case bin <= w.head-int64(len(w.ring)):
+		panic(fmt.Sprintf("telemetry: record at bin %d below trailing window ending at %d", bin, w.head))
+	}
+	w.ring[bin%int64(len(w.ring))] += amount
+	w.total += amount
+}
+
+// Total returns the exact all-time sum, including amounts whose bins have
+// rotated out of the window.
+func (w *Window) Total() float64 { return w.total }
+
+// WindowTotal returns the sum over the retained trailing bins only.
+func (w *Window) WindowTotal() float64 {
+	var sum float64
+	first, n := w.bounds()
+	for b := first; b < first+n; b++ {
+		sum += w.ring[b%int64(len(w.ring))]
+	}
+	return sum
+}
+
+// Rates returns the trailing window as per-second rates, oldest first,
+// along with the absolute index of the first returned bin (firstBin ×
+// BinWidth seconds is its start time). Empty windows return (0, nil).
+func (w *Window) Rates() (firstBin int64, rates []float64) {
+	first, n := w.bounds()
+	if n == 0 {
+		return 0, nil
+	}
+	rates = make([]float64, n)
+	for i := range rates {
+		rates[i] = w.ring[(first+int64(i))%int64(len(w.ring))] / w.binWidth
+	}
+	return first, rates
+}
+
+// bounds returns the absolute index of the oldest retained bin and how
+// many bins are live.
+func (w *Window) bounds() (first, n int64) {
+	if w.head < 0 {
+		return 0, 0
+	}
+	first = w.head - int64(len(w.ring)) + 1
+	if first < 0 {
+		first = 0
+	}
+	return first, w.head - first + 1
+}

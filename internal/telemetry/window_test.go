@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowRetainsTrailingBins(t *testing.T) {
+	w := NewWindow(0.001, 4) // 4 × 1 ms
+	for i := 0; i < 10; i++ {
+		w.Record(float64(i)*0.001, float64(i+1)) // bin i gets i+1
+	}
+	if w.Total() != 55 {
+		t.Fatalf("Total = %v, want 55 (exact, including rotated-out bins)", w.Total())
+	}
+	first, rates := w.Rates()
+	if first != 6 || len(rates) != 4 {
+		t.Fatalf("Rates window = bin %d × %d, want 6 × 4", first, len(rates))
+	}
+	// Bins 6..9 hold 7..10; rates divide by the 1 ms width.
+	for i, want := range []float64{7000, 8000, 9000, 10000} {
+		if math.Abs(rates[i]-want) > 1e-9 {
+			t.Fatalf("rate[%d] = %v, want %v", i, rates[i], want)
+		}
+	}
+	if got := w.WindowTotal(); got != 7+8+9+10 {
+		t.Fatalf("WindowTotal = %v, want 34", got)
+	}
+}
+
+func TestWindowGapZeroesSkippedBins(t *testing.T) {
+	w := NewWindow(0.001, 4)
+	w.Record(0, 5)
+	w.Record(0.002, 3) // skips bin 1
+	_, rates := w.Rates()
+	if len(rates) != 3 || rates[0] != 5000 || rates[1] != 0 || rates[2] != 3000 {
+		t.Fatalf("rates = %v, want [5000 0 3000]", rates)
+	}
+	// A gap wider than the whole window leaves only zeros behind it.
+	w.Record(1.0, 7)
+	first, rates := w.Rates()
+	if first != 997 || len(rates) != 4 {
+		t.Fatalf("post-gap window = bin %d × %d", first, len(rates))
+	}
+	if rates[0] != 0 || rates[1] != 0 || rates[2] != 0 || rates[3] != 7000 {
+		t.Fatalf("post-gap rates = %v", rates)
+	}
+	if w.Total() != 15 {
+		t.Fatalf("Total = %v, want 15", w.Total())
+	}
+}
+
+func TestWindowEmptyAndPanics(t *testing.T) {
+	w := NewWindow(0.01, 8)
+	if first, rates := w.Rates(); first != 0 || rates != nil {
+		t.Fatal("empty window should report no rates")
+	}
+	if w.WindowTotal() != 0 {
+		t.Fatal("empty window total should be 0")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative time should panic")
+			}
+		}()
+		w.Record(-1, 1)
+	}()
+	w.Record(1.0, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("recording below the trailing window should panic")
+			}
+		}()
+		w.Record(0.5, 1) // bin 50 << head 100 − 8
+	}()
+}

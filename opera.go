@@ -168,6 +168,12 @@ type ClusterConfig struct {
 	// (§5.2's application-tagged shuffle).
 	AppTaggedBulk bool
 
+	// Retention selects how Metrics treats completed flows: the zero value
+	// (RetainAll) keeps every flow for exact statistics; RetainSketch
+	// streams completions into quantile sketches and releases all per-flow
+	// state, keeping unbounded soaks flat-memory. See WithRetention.
+	Retention RetentionPolicy
+
 	// Sim, NDP and RotorLB override protocol parameters when non-nil.
 	Sim     *sim.Config
 	NDP     *ndp.Params
@@ -274,6 +280,16 @@ func build(cfg ClusterConfig) (*Cluster, error) {
 	c.metrics = net.Metrics()
 	c.hosts = net.Hosts()
 	c.hostsPerRack = net.HostsPerRack()
+
+	// Retention is installed before any transport attaches or flow
+	// registers. Under streaming retention the cluster also stops holding
+	// completed flows: the registry entry is dropped the moment Metrics
+	// absorbs the completion, so a million-flow soak holds only its active
+	// flows (the transports release their own per-flow state the same way).
+	c.metrics.SetRetention(cfg.Retention)
+	if cfg.Retention.Streaming() {
+		c.metrics.ReleaseHook(func(f *sim.Flow) { delete(c.registry, f.ID) })
+	}
 
 	// Bulk rides RotorLB wherever the fabric exposes circuits. RotorLB must
 	// attach before NDP: NDP chains packets it does not own back to the

@@ -4,7 +4,32 @@ import (
 	"github.com/opera-net/opera/internal/ndp"
 	"github.com/opera-net/opera/internal/rotorlb"
 	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/telemetry"
 )
+
+// RetentionPolicy selects how cluster metrics treat completed flows; see
+// RetainAll and RetainSketch.
+type RetentionPolicy = sim.RetentionPolicy
+
+// SketchOptions tunes RetainSketch: the quantile sketches' relative-error
+// bound (Alpha, default 1%) and the trailing throughput/tax window
+// (WindowBin seconds × WindowBins bins, default 1 ms × 128).
+type SketchOptions = telemetry.Opts
+
+// RetainAll is the default retention policy: every completed flow is kept,
+// so statistics are exact and figure CSVs byte-reproducible — at the cost
+// of memory that grows with total flow count.
+func RetainAll() RetentionPolicy { return sim.RetainAll() }
+
+// RetainSketch is the streaming retention policy: completed flows feed
+// per-class and per-tag quantile sketches (pinned relative error
+// SketchOptions.Alpha) plus trailing windowed counters, and every per-flow
+// record — metrics, cluster registry, transport state — is released.
+// Steady-state memory becomes O(active flows + sketch), which is what
+// lets month-long soaks run flat; counts, means, min/max, throughput and
+// bandwidth tax remain exact, and the sketches merge across process
+// shards.
+func RetainSketch(opts SketchOptions) RetentionPolicy { return sim.RetainSketch(opts) }
 
 // Option adjusts one knob of a cluster under construction; pass Options to
 // New. Options are applied in order over the defaults, so later options
@@ -67,4 +92,13 @@ func WithRotorLBParams(p rotorlb.Params) Option {
 // reproduces the paper's ε sizing; 0 means no bound).
 func WithMaxSliceDiameter(d int) Option {
 	return func(cfg *ClusterConfig) { cfg.MaxSliceDiameter = d }
+}
+
+// WithRetention selects the metrics retention policy: RetainAll (default,
+// exact) or RetainSketch (streaming, flat-memory). Scenario sweeps opt in
+// per Scenario through Options; the scenario Result then carries sketch
+// quantile summaries and the trailing throughput window in
+// Result.Telemetry.
+func WithRetention(r RetentionPolicy) Option {
+	return func(cfg *ClusterConfig) { cfg.Retention = r }
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package opera_test
+
+// raceEnabled reports that this test binary was built with -race; the
+// flat-memory soak skips itself there — its heap-growth bound is a
+// numeric property the race allocator distorts, and nothing in it is
+// concurrent.
+const raceEnabled = true

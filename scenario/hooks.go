@@ -69,7 +69,9 @@ type Action struct {
 func (a Action) String() string { return a.name }
 
 // faultAction wraps an injector operation with the capability check: the
-// fabric must model runtime faults (today: Opera).
+// fabric must model runtime faults (today: Opera, the expander and
+// RotorNet; the folded Clos stays deferred on multi-tier link
+// coordinates).
 func faultAction(name string, f func(inj sim.FaultInjector, cl *opera.Cluster, rng *rand.Rand, at eventsim.Time) error) Action {
 	return Action{name: name, apply: func(cl *opera.Cluster, rng *rand.Rand, at eventsim.Time) error {
 		inj := cl.Faults()

@@ -1,0 +1,8 @@
+//go:build race
+
+package scenario_test
+
+// raceEnabled reports that this test binary was built with -race; heavy
+// packet-level tests that assert numeric properties (not concurrency)
+// skip themselves to keep the race lane fast.
+const raceEnabled = true

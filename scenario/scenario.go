@@ -26,6 +26,7 @@ import (
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/sim"
 	"github.com/opera-net/opera/internal/stats"
+	"github.com/opera-net/opera/internal/telemetry"
 	"github.com/opera-net/opera/internal/workload"
 )
 
@@ -209,17 +210,28 @@ type Scenario struct {
 }
 
 // FCTStats summarizes a flow-completion-time sample in microseconds.
+// Under the default RetainAll retention the values are exact; under
+// RetainSketch the percentiles come from the streaming sketch and carry
+// its pinned relative-error bound (Result.Telemetry.ErrorBound) while N,
+// MeanUs and MaxUs stay exact.
 type FCTStats struct {
 	N                           int
 	MeanUs, P50Us, P99Us, MaxUs float64
 }
 
-func fctStats(m *sim.Metrics, filter func(*sim.Flow) bool) FCTStats {
-	s := m.FCTSample(filter)
+func fctStats(s *stats.Sample) FCTStats {
 	if s.N() == 0 {
 		return FCTStats{}
 	}
 	return FCTStats{N: s.N(), MeanUs: s.Mean(), P50Us: s.Median(), P99Us: s.P99(), MaxUs: s.Max()}
+}
+
+func sketchFCT(s *telemetry.Sketch) FCTStats {
+	if s.Count() == 0 {
+		return FCTStats{}
+	}
+	return FCTStats{N: int(s.Count()), MeanUs: s.Mean(),
+		P50Us: s.Quantile(0.50), P99Us: s.Quantile(0.99), MaxUs: s.Max()}
 }
 
 // TagStats summarizes one workload tag's flows: completion counts, FCTs
@@ -260,6 +272,13 @@ type Result struct {
 	// order; nil when the Scenario has none.
 	Probes []ProbeSeries
 
+	// Telemetry carries the streaming-retention summaries — extended
+	// quantiles at the sketch's pinned error bound and the trailing
+	// throughput/tax window — when the Scenario's Options include
+	// opera.WithRetention(opera.RetainSketch(…)); nil under the default
+	// RetainAll. Result.Equal covers it.
+	Telemetry *TelemetrySummary
+
 	// ThroughputGbps is delivered application bandwidth over the virtual
 	// time actually simulated.
 	ThroughputGbps float64
@@ -277,9 +296,57 @@ type Result struct {
 	Err string
 }
 
+// QuantileSummary is one sketch's quantile readout in microseconds: the
+// paper's tail metrics plus the deeper tail a streaming soak exists to
+// observe. N, MeanUs and MaxUs are exact; the percentiles carry the
+// sketch's relative-error bound.
+type QuantileSummary struct {
+	N                                          int
+	MeanUs, P50Us, P90Us, P99Us, P999Us, MaxUs float64
+}
+
+// TelemetrySummary reports a sketch-retention run: quantile summaries per
+// service class and the trailing windowed series that replace the exact
+// (unbounded) per-flow and per-bin records. Per-tag quantiles surface
+// through Result.ByTag as usual; note that under sketch retention a tag's
+// ThroughputGbps counts completed flows' bytes only (in-flight bytes fold
+// in on completion).
+type TelemetrySummary struct {
+	// ErrorBound is the sketches' pinned relative-error bound α: every
+	// reported percentile is within ±α of the exact order statistic.
+	ErrorBound float64
+
+	// All, LowLat and Bulk summarize completion times overall and per
+	// service class.
+	All, LowLat, Bulk QuantileSummary
+
+	// WindowGbps is the trailing delivered-throughput window, oldest bin
+	// first: WindowBinMs-wide bins starting at WindowStartMs of virtual
+	// time. Older bins have rotated out (their bytes remain in
+	// Result.ThroughputGbps, which is exact over the whole run).
+	WindowBinMs   float64
+	WindowStartMs float64
+	WindowGbps    []float64
+
+	// WindowTax is the bandwidth tax over the trailing window only —
+	// the recent-behavior counterpart of Result.AggregateTax.
+	WindowTax float64
+}
+
+func quantileSummary(s *telemetry.Sketch) QuantileSummary {
+	if s.Count() == 0 {
+		return QuantileSummary{}
+	}
+	return QuantileSummary{
+		N: int(s.Count()), MeanUs: s.Mean(), MaxUs: s.Max(),
+		P50Us: s.Quantile(0.50), P90Us: s.Quantile(0.90),
+		P99Us: s.Quantile(0.99), P999Us: s.Quantile(0.999),
+	}
+}
+
 // Equal reports whether two Results are identical, including per-tag
-// breakdowns and probe series — the determinism relation RunScenarios
-// guarantees across Parallelism settings.
+// breakdowns, probe series and telemetry summaries — the determinism
+// relation RunScenarios guarantees across Parallelism settings.
 func (r Result) Equal(o Result) bool { return reflect.DeepEqual(r, o) }
 
 // Collect runs one Scenario and returns the finished cluster alongside its
@@ -320,13 +387,14 @@ func Collect(sc Scenario) (*opera.Cluster, Result) {
 	m := cl.Metrics()
 	elapsed := cl.Engine().Now().Seconds()
 	res.FlowsDone, res.FlowsTotal = m.DoneCount()
-	res.All = fctStats(m, func(f *sim.Flow) bool { return f.Done })
-	res.LowLat = fctStats(m, func(f *sim.Flow) bool { return f.Done && f.Class == sim.ClassLowLatency })
-	res.Bulk = fctStats(m, func(f *sim.Flow) bool { return f.Done && f.Class == sim.ClassBulk })
-	if elapsed > 0 {
-		res.ThroughputGbps = m.DeliveredBytes.Total() * 8 / elapsed / 1e9
+	if tel := m.Telemetry(); tel != nil {
+		fillFromTelemetry(&res, tel, elapsed)
+	} else {
+		summarize(&res, m, elapsed)
 	}
-	res.ByTag = tagBreakdown(m, elapsed)
+	if elapsed > 0 {
+		res.ThroughputGbps = m.DeliveredTotal() * 8 / elapsed / 1e9
+	}
 	res.Probes = probes
 	res.AggregateTax = m.AggregateTax()
 	res.BulkNACKs = cl.BulkNACKCount()
@@ -334,46 +402,104 @@ func Collect(sc Scenario) (*opera.Cluster, Result) {
 	return cl, res
 }
 
-// tagBreakdown groups flow outcomes by workload tag in one pass; nil when
-// no flow is tagged.
-func tagBreakdown(m *sim.Metrics, elapsedSeconds float64) map[string]TagStats {
+// summarize fills the Result's FCT and per-tag fields from retained flows
+// in ONE pass over Metrics.Flows() — the overall and per-class samples and
+// every tag tally accumulate together, where the former shape scanned the
+// full flow list once per summary (4+ scans on a large sweep).
+func summarize(res *Result, m *sim.Metrics, elapsedSeconds float64) {
 	type tally struct {
 		fct         stats.Sample
 		done, total int
 		bytesRcvd   int64
 	}
-	tallies := make(map[string]*tally)
+	var all, lowLat, bulk stats.Sample
+	var tallies map[string]*tally
 	for _, f := range m.Flows() {
-		if f.Tag == "" {
+		if f.Tag != "" {
+			if tallies == nil {
+				tallies = make(map[string]*tally)
+			}
+			t := tallies[f.Tag]
+			if t == nil {
+				t = &tally{}
+				tallies[f.Tag] = t
+			}
+			t.total++
+			t.bytesRcvd += f.BytesRcvd
+			if f.Done {
+				t.done++
+				t.fct.Add(f.FCT().Micros())
+			}
+		}
+		if !f.Done {
 			continue
 		}
-		t := tallies[f.Tag]
-		if t == nil {
-			t = &tally{}
-			tallies[f.Tag] = t
-		}
-		t.total++
-		t.bytesRcvd += f.BytesRcvd
-		if f.Done {
-			t.done++
-			t.fct.Add(f.FCT().Micros())
+		v := f.FCT().Micros()
+		all.Add(v)
+		switch f.Class {
+		case sim.ClassLowLatency:
+			lowLat.Add(v)
+		case sim.ClassBulk:
+			bulk.Add(v)
 		}
 	}
+	res.All = fctStats(&all)
+	res.LowLat = fctStats(&lowLat)
+	res.Bulk = fctStats(&bulk)
 	if len(tallies) == 0 {
-		return nil
+		return
 	}
-	out := make(map[string]TagStats, len(tallies))
+	res.ByTag = make(map[string]TagStats, len(tallies))
 	for tag, t := range tallies {
-		ts := TagStats{FlowsDone: t.done, FlowsTotal: t.total}
-		if t.fct.N() > 0 {
-			ts.FCT = FCTStats{N: t.fct.N(), MeanUs: t.fct.Mean(), P50Us: t.fct.Median(), P99Us: t.fct.P99(), MaxUs: t.fct.Max()}
-		}
+		ts := TagStats{FlowsDone: t.done, FlowsTotal: t.total, FCT: fctStats(&t.fct)}
 		if elapsedSeconds > 0 {
 			ts.ThroughputGbps = float64(t.bytesRcvd) * 8 / elapsedSeconds / 1e9
 		}
-		out[tag] = ts
+		res.ByTag[tag] = ts
 	}
-	return out
+}
+
+// fillFromTelemetry is summarize's sketch-retention counterpart: no flows
+// were retained, so the FCT summaries, per-tag breakdown and the
+// TelemetrySummary all come from the streaming collector.
+func fillFromTelemetry(res *Result, tel *telemetry.Collector, elapsedSeconds float64) {
+	allSketch := tel.Merged()
+	lowLat := tel.ClassSketch(int(sim.ClassLowLatency))
+	bulk := tel.ClassSketch(int(sim.ClassBulk))
+	res.All = sketchFCT(allSketch)
+	res.LowLat = sketchFCT(lowLat)
+	res.Bulk = sketchFCT(bulk)
+
+	if tags := tel.Tags(); len(tags) > 0 {
+		res.ByTag = make(map[string]TagStats, len(tags))
+		for tag, t := range tags {
+			ts := TagStats{FlowsDone: t.Done, FlowsTotal: t.Total, FCT: sketchFCT(t.Sketch)}
+			if elapsedSeconds > 0 {
+				ts.ThroughputGbps = float64(t.Bytes) * 8 / elapsedSeconds / 1e9
+			}
+			res.ByTag[tag] = ts
+		}
+	}
+
+	sum := &TelemetrySummary{
+		ErrorBound: tel.Alpha(),
+		All:        quantileSummary(allSketch),
+		LowLat:     quantileSummary(lowLat),
+		Bulk:       quantileSummary(bulk),
+	}
+	w := tel.Delivered()
+	sum.WindowBinMs = w.BinWidth() * 1000
+	if first, rates := w.Rates(); len(rates) > 0 {
+		sum.WindowStartMs = float64(first) * w.BinWidth() * 1000
+		sum.WindowGbps = make([]float64, len(rates))
+		for i, r := range rates {
+			sum.WindowGbps[i] = r * 8 / 1e9
+		}
+	}
+	if good := tel.Goodput().WindowTotal(); good > 0 {
+		sum.WindowTax = tel.Uplink().WindowTotal()/good - 1
+	}
+	res.Telemetry = sum
 }
 
 // Run executes one Scenario and returns its Result.
