@@ -36,6 +36,18 @@ func RetainSketch(opts telemetry.Opts) RetentionPolicy {
 // Streaming reports whether the policy releases flows into sketches.
 func (r RetentionPolicy) Streaming() bool { return r.streaming }
 
+// Validate reports whether the policy is usable: RetainAll always is;
+// RetainSketch requires sketch options that pass telemetry validation
+// (alpha bounds, positive window geometry). Cluster construction calls
+// this so a bad bound is a clear error at opera.New rather than NaN
+// quantiles downstream.
+func (r RetentionPolicy) Validate() error {
+	if !r.streaming {
+		return nil
+	}
+	return r.opts.Validate()
+}
+
 // SketchOpts returns the sketch configuration (meaningful when Streaming).
 func (r RetentionPolicy) SketchOpts() telemetry.Opts { return r.opts }
 

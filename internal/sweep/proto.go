@@ -1,0 +1,109 @@
+// Package sweep shards a grid of scenario Specs across worker processes
+// and merges the shards back into one report — the multi-process
+// counterpart of scenario.RunScenarios.
+//
+// The protocol is deliberately small. The coordinator gob-encodes one
+// ShardSpec (a slice of Specs plus their global indices) onto each
+// worker's stdin; the worker runs the specs in order and streams one
+// gob-encoded Frame per finished scenario back over stdout, then exits.
+// Because every scenario's Result is a pure function of its Spec and the
+// telemetry collectors merge associatively, the coordinator can place
+// frames by global index and re-dispatch only the indices a crashed or
+// timed-out worker never delivered: the merged output is byte-identical
+// to a single-process run no matter how the work was sharded, shuffled,
+// or retried.
+package sweep
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/opera-net/opera/scenario"
+)
+
+// ShardSpec is the coordinator→worker work order: the specs one worker
+// process runs, paired with their global indices into the sweep so the
+// coordinator can place results without trusting arrival order.
+type ShardSpec struct {
+	// Indices[k] is the global sweep index of Specs[k].
+	Indices []int
+	Specs   []scenario.Spec
+}
+
+// Frame is one worker→coordinator message: a finished scenario's global
+// index, its Result, and the telemetry collector's wire encoding (nil
+// when the spec does not use sketch retention).
+type Frame struct {
+	Index     int
+	Result    scenario.Result
+	Collector []byte
+}
+
+// crashAfterEnv is test-only fault injection: when set to n, a worker
+// exits hard (simulating a crash) after emitting n frames. The retry
+// tests use it to kill a shard mid-sweep and prove the merged output
+// still matches a local run.
+const crashAfterEnv = "OPERA_SWEEP_TEST_CRASH_AFTER"
+
+// ServeShard is the worker side of the protocol: decode one ShardSpec
+// from r, run each spec, and stream a Frame per result to w. It returns
+// only on a malformed shard or a broken pipe; a healthy worker processes
+// the whole shard and returns nil.
+func ServeShard(r io.Reader, w io.Writer) error {
+	var shard ShardSpec
+	if err := gob.NewDecoder(r).Decode(&shard); err != nil {
+		return fmt.Errorf("sweep: worker: decode shard: %w", err)
+	}
+	if len(shard.Indices) != len(shard.Specs) {
+		return fmt.Errorf("sweep: worker: shard pairs %d indices with %d specs",
+			len(shard.Indices), len(shard.Specs))
+	}
+	crashAfter := -1
+	if s := os.Getenv(crashAfterEnv); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("sweep: worker: bad %s: %w", crashAfterEnv, err)
+		}
+		crashAfter = n
+	}
+	enc := gob.NewEncoder(w)
+	for k, sp := range shard.Specs {
+		if crashAfter >= 0 && k >= crashAfter {
+			os.Exit(3)
+		}
+		res, blob := runSpec(sp)
+		if err := enc.Encode(Frame{Index: shard.Indices[k], Result: res, Collector: blob}); err != nil {
+			return fmt.Errorf("sweep: worker: send frame: %w", err)
+		}
+	}
+	return nil
+}
+
+// runSpec resolves and runs one Spec, returning its Result and, under
+// sketch retention, the collector's wire encoding. A spec that fails to
+// resolve yields a Result carrying only the error — the same shape a
+// failed cluster build produces — so bad cells surface in the report
+// instead of killing the shard.
+func runSpec(sp scenario.Spec) (scenario.Result, []byte) {
+	sc, err := sp.Scenario()
+	if err != nil {
+		return scenario.Result{Name: sp.Name, Seed: sp.Seed, Err: err.Error()}, nil
+	}
+	cl, res := scenario.Collect(sc)
+	if cl == nil {
+		return res, nil
+	}
+	tel := cl.Metrics().Telemetry()
+	if tel == nil {
+		return res, nil
+	}
+	blob, err := tel.MarshalBinary()
+	if err != nil {
+		res.Err = fmt.Sprintf("sweep: encode collector: %v", err)
+		return res, nil
+	}
+	return res, blob
+}

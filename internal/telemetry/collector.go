@@ -1,5 +1,10 @@
 package telemetry
 
+import (
+	"fmt"
+	"math"
+)
+
 // Opts configures a Collector — the knobs sim.RetainSketch exposes.
 type Opts struct {
 	// Alpha is the quantile sketches' relative-error bound; 0 means
@@ -11,6 +16,25 @@ type Opts struct {
 	// WindowBins is how many trailing bins the throughput and tax windows
 	// retain; 0 means 128.
 	WindowBins int
+}
+
+// Validate reports whether the options are usable: Alpha in (0,1) or the
+// 0 default, WindowBin a positive finite bin width or the 0 default, and
+// WindowBins a positive bin count or the 0 default. Constructors apply it
+// so a bad bound fails loudly at construction with a clear message rather
+// than as NaN quantiles downstream (NaN in particular slips past naive
+// range checks: it compares false against every bound).
+func (o Opts) Validate() error {
+	if o.Alpha != 0 && !(o.Alpha > 0 && o.Alpha < 1) { // also rejects NaN
+		return fmt.Errorf("telemetry: sketch alpha %v outside (0,1)", o.Alpha)
+	}
+	if o.WindowBin != 0 && (!(o.WindowBin > 0) || math.IsInf(o.WindowBin, 0)) {
+		return fmt.Errorf("telemetry: window bin width %v s must be positive and finite", o.WindowBin)
+	}
+	if o.WindowBins < 0 {
+		return fmt.Errorf("telemetry: window bin count %d must be positive", o.WindowBins)
+	}
+	return nil
 }
 
 func (o Opts) withDefaults() Opts {
@@ -53,8 +77,13 @@ type Collector struct {
 }
 
 // NewCollector returns an empty collector with per-class sketches for
-// class indices [0, numClasses).
+// class indices [0, numClasses). It panics if the options fail Validate;
+// callers that take options from external input (opera.New's retention
+// policy) validate first and return the error.
 func NewCollector(opts Opts, numClasses int) *Collector {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	opts = opts.withDefaults()
 	c := &Collector{
 		opts:      opts,
@@ -136,6 +165,58 @@ func (c *Collector) Merged() *Sketch {
 // Tags returns the per-tag tallies (nil map when no flow was tagged).
 // Callers must not mutate.
 func (c *Collector) Tags() map[string]*TagTally { return c.tags }
+
+// Merge folds other's tally into t. Both sketches must share an alpha;
+// TryMerge's error is propagated and t is left unchanged on mismatch.
+func (t *TagTally) Merge(other *TagTally) error {
+	if other == nil {
+		return nil
+	}
+	if err := t.Sketch.TryMerge(other.Sketch); err != nil {
+		return err
+	}
+	t.Done += other.Done
+	t.Total += other.Total
+	t.Bytes += other.Bytes
+	return nil
+}
+
+// Merge folds other into c: per-class and per-tag sketches merge bucket-
+// exactly, tag tallies and window totals add, and the trailing windows
+// combine bin-aligned (see Window.Merge). Both collectors must have been
+// built with identical options and class counts — the coordinator-side
+// invariant for shards of one sweep cell — and an error is returned
+// otherwise, before anything merges (matching options make every inner
+// merge infallible, since all sketches and windows inherit their geometry
+// from the options). other is left unchanged.
+func (c *Collector) Merge(other *Collector) error {
+	if other == nil {
+		return nil
+	}
+	if other.opts != c.opts {
+		return fmt.Errorf("telemetry: merging collectors with options %+v vs %+v", c.opts, other.opts)
+	}
+	if len(other.classes) != len(c.classes) {
+		return fmt.Errorf("telemetry: merging collectors with %d vs %d classes", len(c.classes), len(other.classes))
+	}
+	for i, s := range other.classes {
+		if err := c.classes[i].TryMerge(s); err != nil {
+			return err
+		}
+	}
+	for tag, t := range other.tags {
+		if err := c.tally(tag).Merge(t); err != nil {
+			return err
+		}
+	}
+	if err := c.delivered.Merge(other.delivered); err != nil {
+		return err
+	}
+	if err := c.goodput.Merge(other.goodput); err != nil {
+		return err
+	}
+	return c.uplink.Merge(other.uplink)
+}
 
 // Delivered returns the trailing delivered-bytes window.
 func (c *Collector) Delivered() *Window { return c.delivered }

@@ -1,6 +1,14 @@
 package telemetry
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrWindowMismatch is returned by Window.Merge when the two windows have
+// different bin widths or spans — their bins would not align.
+var ErrWindowMismatch = errors.New("telemetry: window geometry mismatch")
 
 // Window accumulates amounts into fixed-width time bins like
 // stats.TimeSeries, but retains only the trailing Span bins — a ring — plus
@@ -23,8 +31,8 @@ type Window struct {
 // NewWindow returns a window of bins trailing bins of the given width in
 // seconds.
 func NewWindow(binWidthSeconds float64, bins int) *Window {
-	if binWidthSeconds <= 0 {
-		panic("telemetry: non-positive bin width")
+	if !(binWidthSeconds > 0) || math.IsInf(binWidthSeconds, 0) { // also rejects NaN
+		panic("telemetry: bin width must be positive and finite")
 	}
 	if bins <= 0 {
 		panic("telemetry: non-positive bin count")
@@ -91,6 +99,49 @@ func (w *Window) Rates() (firstBin int64, rates []float64) {
 		rates[i] = w.ring[(first+int64(i))%int64(len(w.ring))] / w.binWidth
 	}
 	return first, rates
+}
+
+// Merge folds other into w: totals add exactly, and each live bin of
+// other that still falls inside the merged trailing window (which ends at
+// the later of the two heads) adds into the corresponding bin of w. Bins
+// of other that the merged window has already rotated past are dropped
+// from the ring — exactly as if their amounts had been recorded into w at
+// their original times — but survive in Total. The merged state is a pure
+// function of the multiset of inputs, so Merge is associative and
+// commutative up to float addition order — exactly so when amounts are
+// integral (the collector records byte counts, which stay exact below
+// 2^53); other is left unchanged.
+//
+// Both windows must share the same bin width and span; Merge returns
+// ErrWindowMismatch otherwise.
+func (w *Window) Merge(other *Window) error {
+	if other == nil {
+		return nil
+	}
+	if other.binWidth != w.binWidth || len(other.ring) != len(w.ring) {
+		return fmt.Errorf("%w: %v s × %d bins vs %v s × %d bins",
+			ErrWindowMismatch, w.binWidth, len(w.ring), other.binWidth, len(other.ring))
+	}
+	if other.head > w.head {
+		// Advance w's coverage without touching its contents: live bins
+		// that remain inside the new trailing range keep their slots (the
+		// slot index depends only on the absolute bin), bins that fall out
+		// must be zeroed exactly as Record's rotation would.
+		first, n := w.bounds()
+		newFirst := other.head - int64(len(w.ring)) + 1
+		for bin := first; bin < first+n && bin < newFirst; bin++ {
+			w.ring[bin%int64(len(w.ring))] = 0
+		}
+		w.head = other.head
+	}
+	first, n := other.bounds()
+	for bin := first; bin < first+n; bin++ {
+		if bin > w.head-int64(len(w.ring)) {
+			w.ring[bin%int64(len(w.ring))] += other.ring[bin%int64(len(other.ring))]
+		}
+	}
+	w.total += other.total
+	return nil
 }
 
 // bounds returns the absolute index of the oldest retained bin and how

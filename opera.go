@@ -255,6 +255,9 @@ func build(cfg ClusterConfig) (*Cluster, error) {
 	if !ok {
 		return nil, fmt.Errorf("opera: unknown network kind %v", cfg.Kind)
 	}
+	if err := cfg.Retention.Validate(); err != nil {
+		return nil, fmt.Errorf("opera: retention: %w", err)
+	}
 
 	c := &Cluster{
 		cfg:        cfg,
