@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFig11CanaryGolden pins the small-scale Figure 11/18 CSVs byte-for-
+// byte against a checked-in golden. The failure figures are pure
+// functions of (topology, seed); any drift here means a change to the
+// fault model or its sampling altered published numbers — which must be
+// deliberate. Regenerate with UPDATE_GOLDEN=1 go test ./internal/experiments/
+// -run TestFig11CanaryGolden and review the diff.
+func TestFig11CanaryGolden(t *testing.T) {
+	tables, err := Fig11FaultTolerance(SmallScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tb := range tables {
+		b.WriteString(tb.Name)
+		b.WriteByte('\n')
+		b.WriteString(tb.CSV())
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "fig11_canary_small.golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("Fig11/18 CSVs drifted from golden — fault-model change?\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}

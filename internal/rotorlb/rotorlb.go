@@ -228,6 +228,26 @@ func (lb *LB) QueuedBytes() int64 {
 	return total
 }
 
+// StrandedBytes returns VLB bytes parked at relay racks that cannot
+// currently reach the bytes' final destination over any direct circuit.
+// This surfaces a known model gap under failures: RotorLB never
+// re-offloads stored relay traffic to a third rack (§4.2.2 covers only
+// first-leg offload), so when a relay's second leg dies the bytes wait
+// at the relay until the destination becomes directly reachable again.
+// Zero in a fault-free fabric, where every rack cycles through direct
+// circuits to every other rack.
+func (lb *LB) StrandedBytes() int64 {
+	var total int64
+	for rack, a := range lb.agents {
+		for dst := range a.relay {
+			if a.relay[dst].bytes > 0 && !lb.net.DirectReachable(rack, dst) {
+				total += a.relay[dst].bytes
+			}
+		}
+	}
+	return total
+}
+
 func (lb *LB) onSlice(abs int64) {
 	for _, a := range lb.agents {
 		a.openSessions(abs)

@@ -108,7 +108,7 @@ func newRotorTestbed(t *testing.T, hybrid bool) (*eventsim.Engine, *sim.RotorNet
 		NumRacks: 16, HostsPerRack: 4, Uplinks: 4, Hybrid: hybrid, Seed: 1,
 	})
 	eng := eventsim.New()
-	net := sim.NewRotorNetSim(eng, sim.DefaultConfig(), topo)
+	net := sim.NewRotorNetSim(eng, sim.DefaultConfig(), topo, 1)
 	registry := make(map[int64]*sim.Flow)
 	lb := rotorlb.Attach(net, rotorlb.DefaultParams(), registry)
 	eps := ndp.Attach(net.Hosts(), net.Metrics(), ndp.DefaultParams(), registry)

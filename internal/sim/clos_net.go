@@ -21,6 +21,9 @@ type ClosNet struct {
 	aggs    []*ClosAgg
 	cores   []*ClosCore
 	metrics *Metrics
+	faults  *ClosFaults // lazily created; see clos_faults.go
+	// faultSeed seeds deterministic gray-failure (lossy-link) draws.
+	faultSeed int64
 }
 
 func init() {
@@ -35,7 +38,7 @@ func init() {
 
 // NewClosNet wires the folded-Clos fabric.
 func NewClosNet(eng *eventsim.Engine, cfg Config, topo *topology.FoldedClos, seed int64) *ClosNet {
-	n := &ClosNet{eng: eng, cfg: &cfg, topo: topo, metrics: NewMetrics()}
+	n := &ClosNet{eng: eng, cfg: &cfg, topo: topo, metrics: NewMetrics(), faultSeed: seed}
 	n.hosts = make([]*Host, topo.NumHosts())
 	n.tors = make([]*ClosToR, topo.NumToRs)
 	n.aggs = make([]*ClosAgg, topo.NumAgg)
@@ -141,8 +144,16 @@ type ClosToR struct {
 	rng  *rand.Rand
 }
 
-// Receive implements Node.
+// Receive implements Node. With no injector attached the no-fault path
+// is taken verbatim (same RNG draws); with one attached, spraying is
+// restricted to live uplinks — the draw count stays identical while
+// nothing is down, so attaching an idle injector preserves byte-identity.
 func (t *ClosToR) Receive(p *Packet, _ *Port) {
+	cf := t.net.faults
+	if cf != nil && cf.torDown[int(t.id)] {
+		cf.lose(p)
+		return
+	}
 	if p.DstRack == t.id {
 		d := len(t.down)
 		idx := int(p.DstHost) - int(t.id)*d
@@ -153,8 +164,32 @@ func (t *ClosToR) Receive(p *Packet, _ *Port) {
 		t.down[idx].Enqueue(p)
 		return
 	}
-	p.Hops++
-	t.up[t.rng.Intn(len(t.up))].Enqueue(p)
+	if cf == nil {
+		p.Hops++
+		t.up[t.rng.Intn(len(t.up))].Enqueue(p)
+		return
+	}
+	live := 0
+	for i := range t.up {
+		if cf.torUplinkUp(int(t.id), i) {
+			live++
+		}
+	}
+	if live == 0 {
+		cf.lose(p)
+		return
+	}
+	k := t.rng.Intn(live)
+	for i := range t.up {
+		if cf.torUplinkUp(int(t.id), i) {
+			if k == 0 {
+				p.Hops++
+				t.up[i].Enqueue(p)
+				return
+			}
+			k--
+		}
+	}
 }
 
 // ClosAgg is a pod aggregation switch.
@@ -167,15 +202,47 @@ type ClosAgg struct {
 	rng  *rand.Rand
 }
 
-// Receive implements Node.
+// Receive implements Node; see ClosToR.Receive on fault gating.
 func (a *ClosAgg) Receive(p *Packet, _ *Port) {
 	topo := a.net.topo
+	cf := a.net.faults
+	if cf != nil && cf.aggDown[int(a.id)] {
+		cf.lose(p)
+		return
+	}
 	dstPod := topo.ToRPod(int(p.DstRack))
 	if int32(dstPod) == a.pod {
+		if cf != nil && !cf.aggDownToTor(int(a.id), int(p.DstRack)) {
+			cf.lose(p)
+			return
+		}
 		a.down[int(p.DstRack)%topo.ToRsPerPod].Enqueue(p)
 		return
 	}
-	a.up[a.rng.Intn(len(a.up))].Enqueue(p)
+	if cf == nil {
+		a.up[a.rng.Intn(len(a.up))].Enqueue(p)
+		return
+	}
+	live := 0
+	for j := range a.up {
+		if cf.aggUplinkUp(int(a.id), j) {
+			live++
+		}
+	}
+	if live == 0 {
+		cf.lose(p)
+		return
+	}
+	k := a.rng.Intn(live)
+	for j := range a.up {
+		if cf.aggUplinkUp(int(a.id), j) {
+			if k == 0 {
+				a.up[j].Enqueue(p)
+				return
+			}
+			k--
+		}
+	}
 }
 
 // ClosCore is a core switch; the downward pod is determined by the
@@ -186,8 +253,13 @@ type ClosCore struct {
 	down []*Port // indexed by pod
 }
 
-// Receive implements Node.
+// Receive implements Node; the downward hop is deterministic, so a dead
+// core or dead tier-2 reverse cable drops the packet (NDP retransmits).
 func (c *ClosCore) Receive(p *Packet, _ *Port) {
 	pod := c.net.topo.ToRPod(int(p.DstRack))
+	if cf := c.net.faults; cf != nil && !cf.coreDownToAgg(int(c.id), pod) {
+		cf.lose(p)
+		return
+	}
 	c.down[pod].Enqueue(p)
 }

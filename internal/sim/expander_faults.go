@@ -1,13 +1,14 @@
 package sim
 
 import (
+	"fmt"
+
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/routing"
 )
 
-// This file brings runtime link and ToR failures to the static expander —
-// the first FaultInjector beyond Opera's rotor fabric, so fault scenarios
-// (scenario.At(t, FailLink…)) run on the baselines too.
+// This file brings runtime link and ToR failures to the static expander,
+// so fault scenarios (scenario.At(t, FailLink…)) run on the baselines too.
 //
 // The failure model is simpler than Opera's §3.6.2 epidemic: a static
 // fabric's ToRs sit on an always-on packet network, where link-state
@@ -23,14 +24,17 @@ import (
 //   - a transmission already on the wire still delivers.
 //
 // ToR failures are modelled as all of the ToR's fabric cables going dark.
-// Switch failures have no referent here — the expander has no fabric
-// switches — so FailSwitch/RecoverSwitch are documented no-ops.
+// Switch targets have no referent here — the expander has no fabric
+// switches — so Inject/Recover on a switch target return an
+// ErrUnsupportedTarget diagnostic (the deprecated FailSwitch shim stays a
+// silent no-op for compatibility with the old flat surface).
 
-// ExpanderFaults implements FaultInjector for ExpanderNet. The "switch"
-// coordinate of FailLink names the ToR's neighbor slot: FailLink(r, i)
-// cuts the cable between rack r and its i-th expander neighbor (both
-// directions — it is one physical cable).
+// ExpanderFaults implements FaultInjector for ExpanderNet. Tier-0 link
+// coordinates name a ToR's neighbor slot: FlatLink(r, i) is the cable
+// between rack r and its i-th expander neighbor (both directions — it is
+// one physical cable, and gray impairments apply to both end ports).
 type ExpanderFaults struct {
+	faultCore
 	net *ExpanderNet
 
 	linkDown [][]bool // [rack][neighbor slot], marked symmetrically
@@ -48,6 +52,7 @@ func newExpanderFaults(n *ExpanderNet) *ExpanderFaults {
 		ef.linkDown[r] = make([]bool, len(n.topo.G.Neighbors(r)))
 	}
 	ef.torDown = make([]bool, n.topo.NumRacks)
+	ef.faultCore.init(n.eng, n.faultSeed, ef)
 	return ef
 }
 
@@ -63,7 +68,7 @@ func (n *ExpanderNet) Faults() *ExpanderFaults {
 func (n *ExpanderNet) FaultInjector() FaultInjector { return n.Faults() }
 
 // Uplinks returns the fabric degree u — the number of neighbor slots the
-// FailLink switch coordinate ranges over.
+// flat link coordinate ranges over.
 func (n *ExpanderNet) Uplinks() int { return n.topo.Degree }
 
 // LinkUp reports whether rack's i-th fabric cable is intact and both end
@@ -85,74 +90,148 @@ func (ef *ExpanderFaults) peerSlot(rack, slot int) (peer, rev int) {
 	panic("sim: expander neighbor lists asymmetric")
 }
 
+// Inject implements FaultInjector. Switch targets return an
+// ErrUnsupportedTarget diagnostic: the expander has no fabric switches.
+func (ef *ExpanderFaults) Inject(t Target, f Fault, at eventsim.Time) error {
+	return ef.faultCore.inject(t, f, at)
+}
+
+// Recover implements FaultInjector.
+func (ef *ExpanderFaults) Recover(t Target, at eventsim.Time) error {
+	return ef.faultCore.recover(t, at)
+}
+
+// Links enumerates one canonical coordinate per physical cable (from the
+// lower-numbered end ToR), in deterministic order. The expander's
+// (rack, slot) space names every cable twice — once from each end — and
+// a Down fault cuts the whole cable, so random-failure sweeps must
+// sample from this deduplicated universe or they would fail roughly
+// twice the requested fraction.
+func (ef *ExpanderFaults) Links() []LinkID {
+	var out []LinkID
+	for r := 0; r < ef.net.topo.NumRacks; r++ {
+		for slot, nb := range ef.net.topo.G.Neighbors(r) {
+			if int(nb) > r {
+				out = append(out, FlatLink(r, slot))
+			}
+		}
+	}
+	return out
+}
+
+// checkTarget implements fabricFaultOps.
+func (ef *ExpanderFaults) checkTarget(t Target) error {
+	topo := ef.net.topo
+	switch t.Kind {
+	case TargetLink:
+		if t.Link.Tier != 0 {
+			return fmt.Errorf("sim: expander links are flat {rack, neighbor slot}; got %v", t.Link)
+		}
+		if t.Link.Switch < 0 || t.Link.Switch >= topo.NumRacks {
+			return fmt.Errorf("sim: %v: rack %d out of range [0,%d)", t, t.Link.Switch, topo.NumRacks)
+		}
+		if n := len(topo.G.Neighbors(t.Link.Switch)); t.Link.Port < 0 || t.Link.Port >= n {
+			return fmt.Errorf("sim: %v: neighbor slot %d out of range [0,%d)", t, t.Link.Port, n)
+		}
+	case TargetToR:
+		if t.ID < 0 || t.ID >= topo.NumRacks {
+			return fmt.Errorf("sim: %v: rack %d out of range [0,%d)", t, t.ID, topo.NumRacks)
+		}
+	case TargetSwitch:
+		return fmt.Errorf("sim: %v on expander: %w (its links connect ToRs directly; use a link or ToR target)",
+			t, ErrUnsupportedTarget)
+	default:
+		return fmt.Errorf("sim: %v: unknown target kind", t)
+	}
+	return nil
+}
+
+// linkPorts implements fabricFaultOps: one physical cable, two ports.
+func (ef *ExpanderFaults) linkPorts(l LinkID) []*Port {
+	peer, rev := ef.peerSlot(l.Switch, l.Port)
+	return []*Port{ef.net.tors[l.Switch].up[l.Port], ef.net.tors[peer].up[rev]}
+}
+
+// setDown implements fabricFaultOps: instant reconvergence plus
+// failed-cable drains (see the file comment).
+func (ef *ExpanderFaults) setDown(t Target, down bool) {
+	switch t.Kind {
+	case TargetLink:
+		rack, slot := t.Link.Switch, t.Link.Port
+		peer, rev := ef.peerSlot(rack, slot)
+		ef.linkDown[rack][slot] = down
+		ef.linkDown[peer][rev] = down
+		ef.rebuild()
+		if down {
+			ef.LostToFailedLinks += ef.net.tors[rack].up[slot].DropAll()
+			ef.LostToFailedLinks += ef.net.tors[peer].up[rev].DropAll()
+		}
+	case TargetToR:
+		rack := t.ID
+		ef.torDown[rack] = down
+		ef.rebuild()
+		if down {
+			for slot, pt := range ef.net.tors[rack].up {
+				ef.LostToFailedLinks += pt.DropAll()
+				peer, rev := ef.peerSlot(rack, slot)
+				ef.LostToFailedLinks += ef.net.tors[peer].up[rev].DropAll()
+			}
+		}
+	}
+}
+
 // FailLink schedules the rack↔neighbor-slot cable to fail at the given
 // time.
+//
+// Deprecated: use Inject(LinkTarget(FlatLink(rack, slot)), DownFault(), at).
 func (ef *ExpanderFaults) FailLink(rack, slot int, at eventsim.Time) {
-	ef.net.eng.At(at, func() {
-		peer, rev := ef.peerSlot(rack, slot)
-		ef.linkDown[rack][slot] = true
-		ef.linkDown[peer][rev] = true
-		ef.rebuild()
-		ef.LostToFailedLinks += ef.net.tors[rack].up[slot].DropAll()
-		ef.LostToFailedLinks += ef.net.tors[peer].up[rev].DropAll()
-	})
+	mustInject(ef.Inject(LinkTarget(FlatLink(rack, slot)), DownFault(), at))
 }
 
 // RecoverLink schedules the cable back up.
+//
+// Deprecated: use Recover(LinkTarget(FlatLink(rack, slot)), at).
 func (ef *ExpanderFaults) RecoverLink(rack, slot int, at eventsim.Time) {
-	ef.net.eng.At(at, func() {
-		peer, rev := ef.peerSlot(rack, slot)
-		ef.linkDown[rack][slot] = false
-		ef.linkDown[peer][rev] = false
-		ef.rebuild()
-	})
+	mustInject(ef.Recover(LinkTarget(FlatLink(rack, slot)), at))
 }
 
 // FailToR schedules a whole ToR to drop off the fabric: every one of its
 // expander cables goes dark and its hosts become unreachable from other
 // racks (rack-local traffic still flows).
+//
+// Deprecated: use Inject(ToRTarget(rack), DownFault(), at).
 func (ef *ExpanderFaults) FailToR(rack int, at eventsim.Time) {
-	ef.net.eng.At(at, func() {
-		ef.torDown[rack] = true
-		ef.rebuild()
-		for slot, pt := range ef.net.tors[rack].up {
-			ef.LostToFailedLinks += pt.DropAll()
-			peer, rev := ef.peerSlot(rack, slot)
-			ef.LostToFailedLinks += ef.net.tors[peer].up[rev].DropAll()
-		}
-	})
+	mustInject(ef.Inject(ToRTarget(rack), DownFault(), at))
 }
 
 // RecoverToR schedules a failed ToR back online.
+//
+// Deprecated: use Recover(ToRTarget(rack), at).
 func (ef *ExpanderFaults) RecoverToR(rack int, at eventsim.Time) {
-	ef.net.eng.At(at, func() {
-		ef.torDown[rack] = false
-		ef.rebuild()
-	})
+	mustInject(ef.Recover(ToRTarget(rack), at))
 }
 
-// FailSwitch is a no-op: the expander has no fabric switches to fail (its
-// "switch" coordinate names per-ToR neighbor slots). Use FailLink or
-// FailToR.
+// FailSwitch is a no-op: the expander has no fabric switches to fail.
+//
+// Deprecated: the structured surface reports this properly —
+// Inject(SwitchTarget(sw), …) returns ErrUnsupportedTarget instead of
+// silently doing nothing.
 func (ef *ExpanderFaults) FailSwitch(sw int, at eventsim.Time) {}
 
 // RecoverSwitch is a no-op; see FailSwitch.
+//
+// Deprecated: see FailSwitch.
 func (ef *ExpanderFaults) RecoverSwitch(sw int, at eventsim.Time) {}
 
 // DistinctLinks enumerates one canonical (rack, slot) coordinate per
-// physical cable, in deterministic order. The expander's (rack, slot)
-// coordinate space names every cable twice — once from each end ToR —
-// and FailLink cuts the whole cable, so random-failure sweeps must
-// sample from this deduplicated universe or they would fail roughly
-// twice the requested fraction.
+// physical cable, in deterministic order.
+//
+// Deprecated: use Links, which returns the same universe as LinkIDs.
 func (ef *ExpanderFaults) DistinctLinks() [][2]int {
-	var out [][2]int
-	for r := 0; r < ef.net.topo.NumRacks; r++ {
-		for slot, nb := range ef.net.topo.G.Neighbors(r) {
-			if int(nb) > r {
-				out = append(out, [2]int{r, slot})
-			}
-		}
+	links := ef.Links()
+	out := make([][2]int, len(links))
+	for i, l := range links {
+		out[i] = [2]int{l.Switch, l.Port}
 	}
 	return out
 }

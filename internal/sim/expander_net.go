@@ -21,6 +21,8 @@ type ExpanderNet struct {
 	tors    []*ExpanderToR
 	metrics *Metrics
 	faults  *ExpanderFaults // lazily created; see expander_faults.go
+	// faultSeed seeds deterministic gray-failure (lossy-link) draws.
+	faultSeed int64
 }
 
 func init() {
@@ -36,11 +38,12 @@ func init() {
 // NewExpanderNet wires the expander fabric.
 func NewExpanderNet(eng *eventsim.Engine, cfg Config, topo *topology.Expander, seed int64) *ExpanderNet {
 	n := &ExpanderNet{
-		eng:     eng,
-		cfg:     &cfg,
-		topo:    topo,
-		tables:  routing.MustBuild(routing.ExpanderPortMap(topo)),
-		metrics: NewMetrics(),
+		eng:       eng,
+		cfg:       &cfg,
+		topo:      topo,
+		tables:    routing.MustBuild(routing.ExpanderPortMap(topo)),
+		metrics:   NewMetrics(),
+		faultSeed: seed,
 	}
 	n.hosts = make([]*Host, topo.NumHosts())
 	n.tors = make([]*ExpanderToR, topo.NumRacks)

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/routing"
 )
@@ -25,8 +27,13 @@ import (
 // what distributed recomputation converges to); each ToR simply switches
 // to them when the epidemic reaches it.
 
-// FailureState tracks runtime failures and the information epidemic.
+// FailureState tracks runtime failures and the information epidemic. It
+// implements FaultInjector over flat {rack, rotor-switch} coordinates:
+// Tier-0 links name rack uplinks, ToR targets name racks, Tier-0 switch
+// targets name rotor switches. Gray impairments (lossy/degraded) apply to
+// the named rack's uplink port — the rack side of the circuit.
 type FailureState struct {
+	faultCore
 	net *OperaNet
 
 	linkDown [][]bool // [rack][switch]
@@ -54,7 +61,105 @@ func newFailureState(n *OperaNet) *FailureState {
 	fs.torDown = make([]bool, n.topo.NumRacks())
 	fs.swDown = make([]bool, n.topo.Uplinks())
 	fs.informed = make([]bool, n.topo.NumRacks())
+	fs.faultCore.init(n.eng, n.faultSeed, fs)
 	return fs
+}
+
+// Inject implements FaultInjector.
+func (fs *FailureState) Inject(t Target, f Fault, at eventsim.Time) error {
+	return fs.faultCore.inject(t, f, at)
+}
+
+// Recover implements FaultInjector: down state, gray impairments and flap
+// cycles on the target all clear at the given time, and the epidemic
+// spreads the good news like any other topology change.
+func (fs *FailureState) Recover(t Target, at eventsim.Time) error {
+	return fs.faultCore.recover(t, at)
+}
+
+// Links enumerates every rack↔rotor-switch cable, rack-major.
+func (fs *FailureState) Links() []LinkID {
+	topo := fs.net.topo
+	out := make([]LinkID, 0, topo.NumRacks()*topo.Uplinks())
+	for rack := 0; rack < topo.NumRacks(); rack++ {
+		for sw := 0; sw < topo.Uplinks(); sw++ {
+			out = append(out, FlatLink(rack, sw))
+		}
+	}
+	return out
+}
+
+// checkTarget implements fabricFaultOps.
+func (fs *FailureState) checkTarget(t Target) error {
+	topo := fs.net.topo
+	switch t.Kind {
+	case TargetLink:
+		if t.Link.Tier != 0 {
+			return fmt.Errorf("sim: opera links are flat {rack, rotor switch}; got %v", t.Link)
+		}
+		if t.Link.Switch < 0 || t.Link.Switch >= topo.NumRacks() {
+			return fmt.Errorf("sim: %v: rack %d out of range [0,%d)", t, t.Link.Switch, topo.NumRacks())
+		}
+		if t.Link.Port < 0 || t.Link.Port >= topo.Uplinks() {
+			return fmt.Errorf("sim: %v: rotor switch %d out of range [0,%d)", t, t.Link.Port, topo.Uplinks())
+		}
+	case TargetToR:
+		if t.ID < 0 || t.ID >= topo.NumRacks() {
+			return fmt.Errorf("sim: %v: rack %d out of range [0,%d)", t, t.ID, topo.NumRacks())
+		}
+	case TargetSwitch:
+		if t.Tier != 0 {
+			return fmt.Errorf("sim: %v: opera switches live on tier 0 (the rotor plane)", t)
+		}
+		if t.ID < 0 || t.ID >= topo.Uplinks() {
+			return fmt.Errorf("sim: %v: rotor switch %d out of range [0,%d)", t, t.ID, topo.Uplinks())
+		}
+	default:
+		return fmt.Errorf("sim: %v: unknown target kind", t)
+	}
+	return nil
+}
+
+// linkPorts implements fabricFaultOps: gray impairments ride the named
+// rack's uplink port toward the rotor switch.
+func (fs *FailureState) linkPorts(l LinkID) []*Port {
+	return []*Port{fs.net.tors[l.Switch].up[l.Port]}
+}
+
+// setDown implements fabricFaultOps, carrying §3.6.2's detection
+// semantics for each coordinate kind (see the file comment).
+func (fs *FailureState) setDown(t Target, down bool) {
+	switch t.Kind {
+	case TargetLink:
+		rack := t.Link.Switch
+		fs.linkDown[rack][t.Link.Port] = down
+		fs.onFailure([]int{rack})
+	case TargetToR:
+		rack := t.ID
+		fs.torDown[rack] = down
+		// Detection: the racks currently circuit-connected to it notice at
+		// their next hello; on recovery the rack itself also knows.
+		sc := int(fs.net.curSlice % int64(fs.net.topo.SlicesPerCycle()))
+		var detectors []int
+		if !down {
+			detectors = append(detectors, rack)
+		}
+		for sw := 0; sw < fs.net.topo.Uplinks(); sw++ {
+			p := fs.net.topo.SwitchMatching(sw, sc).Peer(rack)
+			if p != rack {
+				detectors = append(detectors, p)
+			}
+		}
+		fs.onFailure(detectors)
+	case TargetSwitch:
+		fs.swDown[t.ID] = down
+		// Every ToR detects on its own uplink (signal loss, §3.5).
+		all := make([]int, fs.net.topo.NumRacks())
+		for i := range all {
+			all[i] = i
+		}
+		fs.onFailure(all)
+	}
 }
 
 // Failures returns the network's failure state, creating it lazily.
@@ -75,84 +180,51 @@ func (fs *FailureState) LinkUp(rack, sw int) bool {
 }
 
 // FailLink schedules the rack↔switch cable to fail at the given time.
+//
+// Deprecated: use Inject(LinkTarget(FlatLink(rack, sw)), DownFault(), at).
 func (fs *FailureState) FailLink(rack, sw int, at eventsim.Time) {
-	fs.net.eng.At(at, func() {
-		fs.linkDown[rack][sw] = true
-		fs.onFailure([]int{rack})
-	})
+	mustInject(fs.Inject(LinkTarget(FlatLink(rack, sw)), DownFault(), at))
 }
 
 // FailToR schedules a whole ToR to fail: its hosts drop off the network
 // and its circuits go dark. Neighbors detect via missing hellos.
+//
+// Deprecated: use Inject(ToRTarget(rack), DownFault(), at).
 func (fs *FailureState) FailToR(rack int, at eventsim.Time) {
-	fs.net.eng.At(at, func() {
-		fs.torDown[rack] = true
-		// Every rack currently circuit-connected to it detects at its next
-		// hello; model: peers in the current slice are informed.
-		sc := int(fs.net.curSlice % int64(fs.net.topo.SlicesPerCycle()))
-		var detectors []int
-		for sw := 0; sw < fs.net.topo.Uplinks(); sw++ {
-			p := fs.net.topo.SwitchMatching(sw, sc).Peer(rack)
-			if p != rack {
-				detectors = append(detectors, p)
-			}
-		}
-		fs.onFailure(detectors)
-	})
+	mustInject(fs.Inject(ToRTarget(rack), DownFault(), at))
 }
 
 // FailSwitch schedules a rotor switch to fail entirely.
+//
+// Deprecated: use Inject(SwitchTarget(sw), DownFault(), at).
 func (fs *FailureState) FailSwitch(sw int, at eventsim.Time) {
-	fs.net.eng.At(at, func() {
-		fs.swDown[sw] = true
-		// Every ToR detects on its own uplink (signal loss, §3.5).
-		all := make([]int, fs.net.topo.NumRacks())
-		for i := range all {
-			all[i] = i
-		}
-		fs.onFailure(all)
-	})
+	mustInject(fs.Inject(SwitchTarget(sw), DownFault(), at))
 }
 
 // RecoverLink schedules the rack↔switch cable to come back up at the
 // given time. Both ends see the restored signal and start spreading the
 // news; distant ToRs keep routing around the link until the epidemic
 // reaches them.
+//
+// Deprecated: use Recover(LinkTarget(FlatLink(rack, sw)), at).
 func (fs *FailureState) RecoverLink(rack, sw int, at eventsim.Time) {
-	fs.net.eng.At(at, func() {
-		fs.linkDown[rack][sw] = false
-		fs.onFailure([]int{rack})
-	})
+	mustInject(fs.Recover(LinkTarget(FlatLink(rack, sw)), at))
 }
 
 // RecoverToR schedules a failed ToR to rejoin: its circuits light up
 // again and its current-slice peers detect it through fresh hellos.
+//
+// Deprecated: use Recover(ToRTarget(rack), at).
 func (fs *FailureState) RecoverToR(rack int, at eventsim.Time) {
-	fs.net.eng.At(at, func() {
-		fs.torDown[rack] = false
-		sc := int(fs.net.curSlice % int64(fs.net.topo.SlicesPerCycle()))
-		detectors := []int{rack}
-		for sw := 0; sw < fs.net.topo.Uplinks(); sw++ {
-			p := fs.net.topo.SwitchMatching(sw, sc).Peer(rack)
-			if p != rack {
-				detectors = append(detectors, p)
-			}
-		}
-		fs.onFailure(detectors)
-	})
+	mustInject(fs.Recover(ToRTarget(rack), at))
 }
 
 // RecoverSwitch schedules a failed rotor switch back into rotation; every
 // ToR sees its uplink signal return (§3.5).
+//
+// Deprecated: use Recover(SwitchTarget(sw), at).
 func (fs *FailureState) RecoverSwitch(sw int, at eventsim.Time) {
-	fs.net.eng.At(at, func() {
-		fs.swDown[sw] = false
-		all := make([]int, fs.net.topo.NumRacks())
-		for i := range all {
-			all[i] = i
-		}
-		fs.onFailure(all)
-	})
+	mustInject(fs.Recover(SwitchTarget(sw), at))
 }
 
 // onFailure starts a new epoch: rebuild recovery tables against the

@@ -1,0 +1,434 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/opera-net/opera/internal/eventsim"
+)
+
+// This file is the structured fault-injection surface shared by every
+// fabric: coordinates (LinkID, Target), fault descriptors (Fault), the
+// FaultInjector interface, and the dispatch core (faultCore) the four
+// per-fabric injectors build on. The old flat FailLink/FailToR/... calls
+// survive as thin Deprecated shims on the concrete injector types.
+//
+// Coordinates are fabric-interpreted. Flat fabrics (Opera, RotorNet, the
+// expander) name links as {Tier: 0, Switch: rack, Port: uplink}; the
+// folded Clos names its two cable tiers explicitly (ClosTierToR,
+// ClosTierAgg) and normalizes Tier 0 to the ToR-uplink tier so flat
+// schedules run unchanged. Switch targets carry a tier too: Tier 0 is the
+// fabric's default switch plane (the rotor switches on Opera/RotorNet);
+// the Clos requires an explicit tier (ClosTierAgg or ClosTierCore), and
+// the expander — which has no fabric switches at all — rejects switch
+// targets with ErrUnsupportedTarget.
+
+// LinkID names one physical cable in a fabric-interpreted coordinate
+// space. Flat fabrics use {Tier: 0, Switch: rack, Port: uplink} (see
+// FlatLink); the folded Clos uses ClosTierToR/ClosTierAgg tiers where
+// Switch indexes the switch whose uplink the cable is.
+type LinkID struct {
+	Tier   int
+	Switch int
+	Port   int
+}
+
+// FlatLink names a link in the flat fabrics' {rack, uplink} coordinate
+// space: Opera and RotorNet's rack↔rotor-switch cables, the expander's
+// rack↔neighbor-slot cables, and (normalized to ClosTierToR) a Clos ToR's
+// uplink.
+func FlatLink(rack, uplink int) LinkID { return LinkID{Tier: 0, Switch: rack, Port: uplink} }
+
+// Clos link and switch tiers. Tier 1 cables are ToR uplinks (Switch is
+// the ToR index), tier 2 cables are aggregation-switch uplinks (Switch is
+// the agg index). Switch targets use ClosTierAgg and ClosTierCore; a Clos
+// ToR is addressed with ToRTarget like on every other fabric.
+const (
+	ClosTierToR  = 1
+	ClosTierAgg  = 2
+	ClosTierCore = 3
+)
+
+// String renders the coordinate; tier 0 prints in the flat form.
+func (l LinkID) String() string {
+	if l.Tier == 0 {
+		return fmt.Sprintf("link(rack=%d,up=%d)", l.Switch, l.Port)
+	}
+	return fmt.Sprintf("link(tier=%d,sw=%d,port=%d)", l.Tier, l.Switch, l.Port)
+}
+
+// TargetKind discriminates what a Target names.
+type TargetKind uint8
+
+const (
+	// TargetLink names one physical cable.
+	TargetLink TargetKind = iota
+	// TargetToR names a whole top-of-rack switch (all its fabric cables).
+	TargetToR
+	// TargetSwitch names a fabric switch: a rotor switch on Opera and
+	// RotorNet (Tier 0), an aggregation or core switch on the Clos
+	// (ClosTierAgg / ClosTierCore).
+	TargetSwitch
+)
+
+func (k TargetKind) String() string {
+	switch k {
+	case TargetLink:
+		return "link"
+	case TargetToR:
+		return "tor"
+	case TargetSwitch:
+		return "switch"
+	}
+	return fmt.Sprintf("TargetKind(%d)", uint8(k))
+}
+
+// Target is the injection coordinate: one link, one ToR, or one fabric
+// switch. Build with LinkTarget, ToRTarget, SwitchTarget or
+// TierSwitchTarget.
+type Target struct {
+	Kind TargetKind
+	// Link is the cable coordinate when Kind == TargetLink.
+	Link LinkID
+	// Tier qualifies switch targets on multi-tier fabrics (0 = the
+	// fabric's default switch plane).
+	Tier int
+	// ID is the rack (TargetToR) or switch (TargetSwitch) index.
+	ID int
+}
+
+// LinkTarget targets one physical cable.
+func LinkTarget(l LinkID) Target { return Target{Kind: TargetLink, Link: l} }
+
+// ToRTarget targets a whole top-of-rack switch.
+func ToRTarget(rack int) Target { return Target{Kind: TargetToR, ID: rack} }
+
+// SwitchTarget targets a fabric switch on the default switch plane
+// (Opera/RotorNet rotor switches). Multi-tier fabrics require
+// TierSwitchTarget.
+func SwitchTarget(sw int) Target { return Target{Kind: TargetSwitch, ID: sw} }
+
+// TierSwitchTarget targets a switch on an explicit tier (the folded
+// Clos: ClosTierAgg or ClosTierCore).
+func TierSwitchTarget(tier, sw int) Target {
+	return Target{Kind: TargetSwitch, Tier: tier, ID: sw}
+}
+
+// String renders the target.
+func (t Target) String() string {
+	switch t.Kind {
+	case TargetLink:
+		return t.Link.String()
+	case TargetToR:
+		return fmt.Sprintf("tor(%d)", t.ID)
+	case TargetSwitch:
+		if t.Tier == 0 {
+			return fmt.Sprintf("switch(%d)", t.ID)
+		}
+		return fmt.Sprintf("switch(tier=%d,%d)", t.Tier, t.ID)
+	}
+	return fmt.Sprintf("target(kind=%d)", t.Kind)
+}
+
+// FaultKind discriminates fault descriptors.
+type FaultKind uint8
+
+const (
+	// FaultDown is a clean cut: the target goes dark until recovered.
+	FaultDown FaultKind = iota
+	// FaultLossy is a gray failure: the link stays up but drops each
+	// transmitted packet independently with probability Rate.
+	FaultLossy
+	// FaultDegraded is a gray failure: the link stays up but serializes
+	// at RateFraction of its nominal rate.
+	FaultDegraded
+	// FaultFlapping cycles the target down for Down, up for Up,
+	// repeating until recovered.
+	FaultFlapping
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDown:
+		return "down"
+	case FaultLossy:
+		return "lossy"
+	case FaultDegraded:
+		return "degraded"
+	case FaultFlapping:
+		return "flapping"
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
+// Fault describes what goes wrong at a target. Build with DownFault,
+// LossyFault, DegradedFault or FlappingFault.
+type Fault struct {
+	Kind FaultKind
+	// Rate is the per-packet drop probability of a lossy link, in (0,1].
+	Rate float64
+	// RateFraction is the fraction of nominal serialization rate a
+	// degraded link retains, in (0,1).
+	RateFraction float64
+	// Up and Down are the phase lengths of a flapping target.
+	Up, Down eventsim.Time
+}
+
+// DownFault is a clean cut.
+func DownFault() Fault { return Fault{Kind: FaultDown} }
+
+// LossyFault drops each transmitted packet with probability rate while
+// the link stays nominally up (transports see unexplained loss, not a
+// dead cable).
+func LossyFault(rate float64) Fault { return Fault{Kind: FaultLossy, Rate: rate} }
+
+// DegradedFault derates the link to the given fraction of its nominal
+// serialization rate (a slow port: dirty optics, a failing transceiver).
+func DegradedFault(fraction float64) Fault {
+	return Fault{Kind: FaultDegraded, RateFraction: fraction}
+}
+
+// FlappingFault cycles the target: down for down, up for up, repeating
+// from the injection time until Recover cancels the cycle.
+func FlappingFault(up, down eventsim.Time) Fault {
+	return Fault{Kind: FaultFlapping, Up: up, Down: down}
+}
+
+// String renders the descriptor.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultLossy:
+		return fmt.Sprintf("lossy(%g)", f.Rate)
+	case FaultDegraded:
+		return fmt.Sprintf("degraded(%g)", f.RateFraction)
+	case FaultFlapping:
+		return fmt.Sprintf("flapping(up=%v,down=%v)", f.Up, f.Down)
+	}
+	return f.Kind.String()
+}
+
+// Validate checks the descriptor's parameters.
+func (f Fault) Validate() error {
+	switch f.Kind {
+	case FaultDown:
+		return nil
+	case FaultLossy:
+		if !(f.Rate > 0 && f.Rate <= 1) { // also rejects NaN
+			return fmt.Errorf("sim: lossy fault rate %g must be in (0,1]", f.Rate)
+		}
+		return nil
+	case FaultDegraded:
+		if !(f.RateFraction > 0 && f.RateFraction < 1) {
+			return fmt.Errorf("sim: degraded fault rate fraction %g must be in (0,1)", f.RateFraction)
+		}
+		return nil
+	case FaultFlapping:
+		if f.Up <= 0 || f.Down <= 0 {
+			return fmt.Errorf("sim: flapping fault phases (up=%v, down=%v) must be positive", f.Up, f.Down)
+		}
+		return nil
+	}
+	return fmt.Errorf("sim: unknown fault kind %d", f.Kind)
+}
+
+// ErrUnsupportedTarget marks a target kind a fabric cannot express (the
+// expander has no fabric switches; the Clos has no Tier-0 switch plane).
+// Test with errors.Is.
+var ErrUnsupportedTarget = errors.New("fault target unsupported on this fabric")
+
+// FaultInjector schedules runtime failures (and recoveries) into a live
+// fabric using structured coordinates. All four built-in fabrics
+// implement it: Opera (§3.6.2's detection-and-epidemic model,
+// FailureState), the expander (instant link-state reconvergence,
+// ExpanderFaults), RotorNet (instant global knowledge over the OOB
+// management channel, RotorFaults) and the folded Clos (instant local
+// link-state, ClosFaults).
+//
+// Inject validates the target and descriptor synchronously — bad
+// coordinates or an unsupported target kind return an error before
+// anything is scheduled — and then schedules the fault to take effect at
+// the given virtual time. Recover clears every effect on the target
+// (down state, gray impairments, an active flap cycle) at the given
+// time. Links enumerates the fabric's physical-cable universe, one
+// canonical LinkID per cable, in deterministic order — the sampling
+// space for random-failure sweeps.
+type FaultInjector interface {
+	Inject(t Target, f Fault, at eventsim.Time) error
+	Recover(t Target, at eventsim.Time) error
+	Links() []LinkID
+}
+
+// fabricFaultOps is the per-fabric primitive set faultCore drives: pure
+// coordinate validation, link→endpoint-port resolution (for gray
+// impairments), and the fabric's own up/down state transition (which
+// runs inside the scheduled event and carries the fabric's failure
+// semantics — Opera's epidemic, the expander's rebuild, Clos drains).
+type fabricFaultOps interface {
+	// checkTarget validates coordinates; it must not mutate anything.
+	checkTarget(t Target) error
+	// linkPorts resolves a (validated) link to the output ports that
+	// carry its gray impairments.
+	linkPorts(l LinkID) []*Port
+	// setDown applies or clears the fabric's down state for a validated
+	// target. It runs inside the engine at the scheduled time.
+	setDown(t Target, down bool)
+}
+
+// faultCore is the shared dispatch engine embedded by every injector:
+// it validates, schedules, seeds gray impairments deterministically, and
+// runs flap cycles with generation-counted cancellation.
+type faultCore struct {
+	eng  *eventsim.Engine
+	seed int64
+	ops  fabricFaultOps
+
+	// flapGen cancels flap cycles: each new fault or recovery on a
+	// target bumps its generation at its scheduled time, and a flap
+	// transition whose generation is stale stops rescheduling. Only
+	// engine callbacks touch it, so no locking is needed.
+	flapGen map[Target]uint64
+
+	// strandedProbe, when wired (Cluster.Faults does it for circuit
+	// fabrics), reports RotorLB VLB bytes stranded at relays whose
+	// second leg is unreachable. See StrandedBytes.
+	strandedProbe func() int64
+}
+
+func (fc *faultCore) init(eng *eventsim.Engine, seed int64, ops fabricFaultOps) {
+	fc.eng = eng
+	fc.seed = seed
+	fc.ops = ops
+	fc.flapGen = make(map[Target]uint64)
+}
+
+func (fc *faultCore) bumpGen(t Target) uint64 {
+	fc.flapGen[t]++
+	return fc.flapGen[t]
+}
+
+// linkSeed derives a per-link, per-endpoint deterministic seed for lossy
+// draws: stable across runs and independent of scheduling parallelism,
+// decorrelated across links and from the workload generators (which
+// consume the fabric seed directly).
+func (fc *faultCore) linkSeed(l LinkID, end int) int64 {
+	const grayFaultSalt = int64(-0x61c8864680b583eb) // 0x9e3779b97f4a7c15
+	z := fc.seed ^ grayFaultSalt
+	z ^= int64(l.Tier)<<48 ^ int64(l.Switch)<<24 ^ int64(l.Port)<<8 ^ int64(end)
+	// splitmix64 finalizer to spread the structured bits.
+	z = (z ^ (z >> 30)) * -0x40a7b892e31b1a47
+	z = (z ^ (z >> 27)) * -0x6b2fb644ecceee15
+	return z ^ (z >> 31)
+}
+
+// inject implements FaultInjector.Inject over the fabric ops.
+func (fc *faultCore) inject(t Target, f Fault, at eventsim.Time) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if at < 0 {
+		return fmt.Errorf("sim: inject %v at negative time %v", t, at)
+	}
+	if err := fc.ops.checkTarget(t); err != nil {
+		return err
+	}
+	if f.Kind == FaultLossy || f.Kind == FaultDegraded {
+		if t.Kind != TargetLink {
+			return fmt.Errorf("sim: %v fault applies to links, not %v targets", f.Kind, t.Kind)
+		}
+		l := t.Link
+		fc.eng.At(at, func() {
+			for end, pt := range fc.ops.linkPorts(l) {
+				if f.Kind == FaultLossy {
+					pt.SetLossRate(f.Rate, fc.linkSeed(l, end))
+				} else {
+					pt.SetRateDerating(f.RateFraction)
+				}
+			}
+		})
+		return nil
+	}
+	if f.Kind == FaultFlapping && t.Kind != TargetLink {
+		return fmt.Errorf("sim: flapping fault applies to links, not %v targets", t.Kind)
+	}
+	switch f.Kind {
+	case FaultDown:
+		fc.eng.At(at, func() {
+			fc.bumpGen(t) // an explicit cut overrides an active flap
+			fc.ops.setDown(t, true)
+		})
+	case FaultFlapping:
+		fc.eng.At(at, func() {
+			fc.flapStep(t, f, fc.bumpGen(t), true)
+		})
+	}
+	return nil
+}
+
+// flapStep applies one flap transition and schedules the next; a stale
+// generation (a newer fault or a recovery reached the target) ends the
+// cycle without touching the fabric.
+func (fc *faultCore) flapStep(t Target, f Fault, gen uint64, down bool) {
+	if fc.flapGen[t] != gen {
+		return
+	}
+	fc.ops.setDown(t, down)
+	d := f.Up
+	if down {
+		d = f.Down
+	}
+	fc.eng.After(d, func() { fc.flapStep(t, f, gen, !down) })
+}
+
+// recover implements FaultInjector.Recover over the fabric ops: at the
+// scheduled time the target's down state, gray impairments and any flap
+// cycle are all cleared.
+func (fc *faultCore) recover(t Target, at eventsim.Time) error {
+	if at < 0 {
+		return fmt.Errorf("sim: recover %v at negative time %v", t, at)
+	}
+	if err := fc.ops.checkTarget(t); err != nil {
+		return err
+	}
+	fc.eng.At(at, func() {
+		fc.bumpGen(t)
+		if t.Kind == TargetLink {
+			for _, pt := range fc.ops.linkPorts(t.Link) {
+				pt.ClearImpairments()
+			}
+		}
+		fc.ops.setDown(t, false)
+	})
+	return nil
+}
+
+// SetStrandedProbe wires the injector's StrandedBytes counter to a live
+// transport-layer probe. Cluster.Faults installs RotorLB's stranded-VLB
+// accounting on circuit fabrics; fabrics without RotorLB leave it unset.
+func (fc *faultCore) SetStrandedProbe(fn func() int64) { fc.strandedProbe = fn }
+
+// StrandedBytes reports VLB bytes currently parked at relay racks that
+// cannot reach the bytes' final destination over any direct circuit —
+// the known RotorLB model gap: such bytes are not re-offloaded to a
+// third rack, they wait for recovery (see rotorlb.LB.StrandedBytes).
+// Zero when no probe is wired or nothing is stranded.
+func (fc *faultCore) StrandedBytes() int64 {
+	if fc.strandedProbe == nil {
+		return 0
+	}
+	return fc.strandedProbe()
+}
+
+// grayRand builds the deterministic generator behind a lossy port. Kept
+// here (not in port.go) so the seeding policy lives with the rest of the
+// fault machinery.
+func grayRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// mustInject backs the deprecated flat shims: they have no error return,
+// and the old surface paniced (at fire time) on bad coordinates, so a
+// synchronous validation failure panics too.
+func mustInject(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,210 @@
+package sim_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/workload"
+
+	opera "github.com/opera-net/opera"
+)
+
+// The structured fault surface: coordinate universes, validation, and
+// the per-fabric target support matrix.
+
+func newCluster(t *testing.T, cfg opera.ClusterConfig) *opera.Cluster {
+	t.Helper()
+	cl, err := opera.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// Satellite pin: switch targets on the expander surface a clean
+// "unsupported on this fabric" error through the structured API — not a
+// silent no-op like the deprecated FailSwitch shim.
+func TestExpanderSwitchTargetUnsupported(t *testing.T) {
+	_, ef := expanderTestbed(t)
+	err := ef.Inject(sim.SwitchTarget(0), sim.DownFault(), eventsim.Millisecond)
+	if !errors.Is(err, sim.ErrUnsupportedTarget) {
+		t.Fatalf("Inject(switch) err = %v, want ErrUnsupportedTarget", err)
+	}
+	if !strings.Contains(err.Error(), "expander") {
+		t.Fatalf("error should name the fabric: %v", err)
+	}
+	if err := ef.Recover(sim.SwitchTarget(0), eventsim.Millisecond); !errors.Is(err, sim.ErrUnsupportedTarget) {
+		t.Fatalf("Recover(switch) err = %v, want ErrUnsupportedTarget", err)
+	}
+	// The structured error is sync: nothing was scheduled, ToR and link
+	// targets still validate and work.
+	if err := ef.Inject(sim.ToRTarget(0), sim.DownFault(), eventsim.Millisecond); err != nil {
+		t.Fatalf("ToR target should stay supported: %v", err)
+	}
+}
+
+// A tier-0 switch target on the folded Clos is rejected the same way:
+// its switch planes are ClosTierAgg and ClosTierCore.
+func TestClosDefaultSwitchPlaneUnsupported(t *testing.T) {
+	cl := newCluster(t, opera.ClusterConfig{Kind: opera.KindFoldedClos, ClosK: 8, ClosF: 3, Seed: 1})
+	inj := cl.Faults()
+	if inj == nil {
+		t.Fatal("folded Clos should expose a FaultInjector")
+	}
+	err := inj.Inject(sim.SwitchTarget(0), sim.DownFault(), eventsim.Millisecond)
+	if !errors.Is(err, sim.ErrUnsupportedTarget) {
+		t.Fatalf("Inject(tier-0 switch) err = %v, want ErrUnsupportedTarget", err)
+	}
+	for _, tier := range []int{sim.ClosTierAgg, sim.ClosTierCore} {
+		if err := inj.Inject(sim.TierSwitchTarget(tier, 0), sim.DownFault(), eventsim.Millisecond); err != nil {
+			t.Fatalf("tier %d switch should be supported: %v", tier, err)
+		}
+	}
+}
+
+// Links enumerates one canonical coordinate per physical cable, in a
+// deterministic order, sized by the fabric's cable count.
+func TestLinksUniverses(t *testing.T) {
+	t.Run("opera", func(t *testing.T) {
+		_, fs := failureTestbed(t)
+		links := fs.Links()
+		// failureTestbed: 16 racks × 4 uplinks, rack-major flat coords.
+		if len(links) != 16*4 {
+			t.Fatalf("opera universe = %d links, want 64", len(links))
+		}
+		if links[5] != sim.FlatLink(1, 1) {
+			t.Fatalf("opera enumeration not rack-major: links[5] = %v", links[5])
+		}
+	})
+	t.Run("expander", func(t *testing.T) {
+		_, ef := expanderTestbed(t)
+		links := ef.Links()
+		// 16 racks × degree 5 names each cable twice: 40 physical cables.
+		if len(links) != 16*5/2 {
+			t.Fatalf("expander universe = %d links, want 40 deduplicated cables", len(links))
+		}
+		seen := map[sim.LinkID]bool{}
+		for _, l := range links {
+			if seen[l] {
+				t.Fatalf("duplicate canonical link %v", l)
+			}
+			seen[l] = true
+		}
+	})
+	t.Run("foldedclos", func(t *testing.T) {
+		cl := newCluster(t, opera.ClusterConfig{Kind: opera.KindFoldedClos, ClosK: 8, ClosF: 3, Seed: 1})
+		cn := cl.Network().(*sim.ClosNet)
+		topo := cn.Topology()
+		links := cl.Faults().Links()
+		want := topo.NumToRs*topo.UplinksPerToR + topo.NumAgg*topo.K/2
+		if len(links) != want {
+			t.Fatalf("clos universe = %d links, want %d (tier-1 + tier-2 cables)", len(links), want)
+		}
+		var t1, t2 int
+		for _, l := range links {
+			switch l.Tier {
+			case sim.ClosTierToR:
+				t1++
+			case sim.ClosTierAgg:
+				t2++
+			default:
+				t.Fatalf("unexpected tier in clos universe: %v", l)
+			}
+		}
+		if t1 != topo.NumToRs*topo.UplinksPerToR || t2 != topo.NumAgg*topo.K/2 {
+			t.Fatalf("tier split = %d + %d, want %d + %d",
+				t1, t2, topo.NumToRs*topo.UplinksPerToR, topo.NumAgg*topo.K/2)
+		}
+	})
+	t.Run("rotornet", func(t *testing.T) {
+		_, rf := rotorTestbed(t, opera.KindRotorNet)
+		if links := rf.Links(); len(links) != 8*4 {
+			t.Fatalf("rotornet universe = %d links, want 32", len(links))
+		}
+	})
+}
+
+// Inject validates synchronously: bad descriptors, bad coordinates and
+// gray faults on non-link targets are errors before anything schedules.
+func TestInjectValidation(t *testing.T) {
+	_, fs := failureTestbed(t)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"bad-lossy-rate", fs.Inject(sim.LinkTarget(sim.FlatLink(0, 0)), sim.LossyFault(1.5), 0)},
+		{"bad-degraded-frac", fs.Inject(sim.LinkTarget(sim.FlatLink(0, 0)), sim.DegradedFault(1.0), 0)},
+		{"bad-flap-phase", fs.Inject(sim.LinkTarget(sim.FlatLink(0, 0)), sim.FlappingFault(0, eventsim.Millisecond), 0)},
+		{"rack-range", fs.Inject(sim.LinkTarget(sim.FlatLink(99, 0)), sim.DownFault(), 0)},
+		{"uplink-range", fs.Inject(sim.LinkTarget(sim.FlatLink(0, 99)), sim.DownFault(), 0)},
+		{"tor-range", fs.Inject(sim.ToRTarget(-1), sim.DownFault(), 0)},
+		{"negative-time", fs.Inject(sim.LinkTarget(sim.FlatLink(0, 0)), sim.DownFault(), -1)},
+		{"gray-on-tor", fs.Inject(sim.ToRTarget(0), sim.LossyFault(0.1), 0)},
+		{"gray-on-switch", fs.Inject(sim.SwitchTarget(0), sim.DegradedFault(0.5), 0)},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: Inject succeeded, want error", tc.name)
+		}
+	}
+}
+
+// Flat Tier-0 coordinates normalize onto the Clos ToR-uplink tier: a
+// flat injection can be recovered through its explicit tier-1 name (they
+// are the same target), and traffic flows normally afterwards.
+func TestClosFlatCoordinateNormalization(t *testing.T) {
+	cl := newCluster(t, opera.ClusterConfig{Kind: opera.KindFoldedClos, ClosK: 8, ClosF: 3, Seed: 1})
+	inj := cl.Faults()
+	if err := inj.Inject(sim.LinkTarget(sim.FlatLink(2, 1)), sim.DownFault(), eventsim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	explicit := sim.LinkTarget(sim.LinkID{Tier: sim.ClosTierToR, Switch: 2, Port: 1})
+	if err := inj.Recover(explicit, 2*eventsim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	d := cl.HostsPerRack()
+	for i := 0; i < d; i++ {
+		cl.AddFlow(workload.FlowSpec{
+			Src: 2*d + i, Dst: (9*d + i) % cl.NumHosts(), Bytes: 20_000,
+			Arrival: 10 * eventsim.Microsecond,
+		})
+	}
+	if !cl.RunUntilDone(500 * eventsim.Millisecond) {
+		done, total := cl.Metrics().DoneCount()
+		t.Fatalf("only %d/%d flows after normalized fail+recover", done, total)
+	}
+}
+
+// The deprecated flat shims still work and agree with the structured
+// calls they delegate to (byte-identity of the old call sites).
+func TestDeprecatedShimsDelegate(t *testing.T) {
+	run := func(structured bool) uint64 {
+		cl, fs := failureTestbed(t)
+		if structured {
+			mustOK(t, fs.Inject(sim.LinkTarget(sim.FlatLink(3, 2)), sim.DownFault(), 500*eventsim.Microsecond))
+			mustOK(t, fs.Inject(sim.ToRTarget(5), sim.DownFault(), 700*eventsim.Microsecond))
+			mustOK(t, fs.Recover(sim.LinkTarget(sim.FlatLink(3, 2)), 2*eventsim.Millisecond))
+			mustOK(t, fs.Recover(sim.ToRTarget(5), 3*eventsim.Millisecond))
+		} else {
+			fs.FailLink(3, 2, 500*eventsim.Microsecond)
+			fs.FailToR(5, 700*eventsim.Microsecond)
+			fs.RecoverLink(3, 2, 2*eventsim.Millisecond)
+			fs.RecoverToR(5, 3*eventsim.Millisecond)
+		}
+		cl.Run(5 * eventsim.Millisecond)
+		return cl.Engine().Steps()
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("structured (%d steps) and shim (%d steps) schedules diverge", a, b)
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,29 +46,14 @@ type Transport interface {
 	StartFlow(f *Flow)
 }
 
-// FaultInjector schedules runtime failures (and recoveries) into a live
-// fabric: links, ToRs and circuit switches go down mid-run. Fabrics that
-// model runtime faults implement FaultNetwork; today that is OperaNet
-// (§3.6.2's detection-and-epidemic model, FailureState), ExpanderNet
-// (instant link-state reconvergence, ExpanderFaults) and RotorNetSim
-// (instant global knowledge over the OOB management channel,
-// RotorFaults). Coordinates are fabric-specific — for Opera and RotorNet,
-// sw names a rotor switch; for the expander, it names a ToR's neighbor
-// slot and FailSwitch has no referent. The folded Clos does not implement
-// FaultNetwork: its links need multi-tier (tier, switch, port)
-// coordinates this flat surface cannot name, so Clos fault injection
-// stays deferred.
-type FaultInjector interface {
-	FailLink(rack, sw int, at eventsim.Time)
-	FailToR(rack int, at eventsim.Time)
-	FailSwitch(sw int, at eventsim.Time)
-	RecoverLink(rack, sw int, at eventsim.Time)
-	RecoverToR(rack int, at eventsim.Time)
-	RecoverSwitch(sw int, at eventsim.Time)
-}
-
 // FaultNetwork is the capability interface for runtime failure injection:
-// a Network that can expose a FaultInjector over its live state.
+// a Network that can expose a FaultInjector (see faultapi.go) over its
+// live state. All four built-in fabrics implement it — OperaNet
+// (§3.6.2's detection-and-epidemic model, FailureState), ExpanderNet
+// (instant link-state reconvergence, ExpanderFaults), RotorNetSim
+// (instant global knowledge over the OOB management channel, RotorFaults)
+// and ClosNet (instant local link-state with tier-addressed coordinates,
+// ClosFaults).
 type FaultNetwork interface {
 	Network
 	// FaultInjector returns the fabric's failure-injection surface.
@@ -155,7 +140,9 @@ var (
 	_ FaultNetwork   = (*OperaNet)(nil)
 	_ FaultNetwork   = (*ExpanderNet)(nil)
 	_ FaultNetwork   = (*RotorNetSim)(nil)
+	_ FaultNetwork   = (*ClosNet)(nil)
 	_ FaultInjector  = (*FailureState)(nil)
 	_ FaultInjector  = (*ExpanderFaults)(nil)
 	_ FaultInjector  = (*RotorFaults)(nil)
+	_ FaultInjector  = (*ClosFaults)(nil)
 )

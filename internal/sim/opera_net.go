@@ -34,6 +34,8 @@ type OperaNet struct {
 	// failures tracks runtime failures and the §3.6.2 hello-protocol
 	// epidemic; nil until Failures() is first used.
 	failures *FailureState
+	// faultSeed seeds deterministic gray-failure (lossy-link) draws.
+	faultSeed int64
 }
 
 // operaSliceTick advances the slice clock; the next slice number is always
@@ -75,11 +77,12 @@ func init() {
 // per-ToR packet spraying.
 func NewOperaNet(eng *eventsim.Engine, cfg Config, topo *topology.Opera, seed int64) *OperaNet {
 	n := &OperaNet{
-		eng:     eng,
-		cfg:     &cfg,
-		topo:    topo,
-		tables:  routing.MustBuild(routing.OperaPortMaps(topo)),
-		metrics: NewMetrics(),
+		eng:       eng,
+		cfg:       &cfg,
+		topo:      topo,
+		tables:    routing.MustBuild(routing.OperaPortMaps(topo)),
+		metrics:   NewMetrics(),
+		faultSeed: seed,
 	}
 	d := topo.HostsPerRack()
 	numRacks := topo.NumRacks()

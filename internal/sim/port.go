@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/stats"
 )
@@ -76,6 +78,7 @@ type PortStats struct {
 	HdrDrops uint64                    // header-queue overflow drops
 	BulkDrop uint64                    // bulk-queue overflow drops
 	Stale    uint64                    // packets rerouted at reconfiguration
+	LinkLoss uint64                    // packets lost to a lossy-link gray fault
 }
 
 // Port is an output port: three strict-priority queues (control/header,
@@ -113,6 +116,13 @@ type Port struct {
 	inflight *Packet
 	txH      portTxDone
 	dvH      portDeliver
+
+	// Gray-failure state (FaultLossy / FaultDegraded). The zero values
+	// mean healthy, so the hot path pays only a nil check and a zero
+	// compare when no gray fault is active — no draws, no allocation.
+	lossRate float64
+	lossRng  *rand.Rand
+	derate   float64 // serialization-rate fraction; 0 = full rate
 
 	Stats PortStats
 }
@@ -170,6 +180,38 @@ func (pt *Port) QueuedBytes(c Class) int {
 
 // Enabled reports whether the transmitter is running.
 func (pt *Port) Enabled() bool { return pt.enabled }
+
+// SetLossRate makes the port a lossy gray link: each packet completing
+// serialization is independently lost with the given probability, drawn
+// from a generator seeded here — so loss patterns are deterministic under
+// the engine's tie-order rules regardless of scenario parallelism. A rate
+// <= 0 clears the impairment. The generator is allocated at injection
+// time, off the packet hot path.
+func (pt *Port) SetLossRate(rate float64, seed int64) {
+	if rate <= 0 {
+		pt.lossRate, pt.lossRng = 0, nil
+		return
+	}
+	pt.lossRate = rate
+	pt.lossRng = grayRand(seed)
+}
+
+// SetRateDerating makes the port a degraded gray link serializing at the
+// given fraction of nominal rate (in (0,1)); fractions outside that range
+// clear the impairment. Queued and future packets all serialize slower —
+// the transceiver is sick, not any one packet.
+func (pt *Port) SetRateDerating(fraction float64) {
+	if fraction <= 0 || fraction >= 1 {
+		pt.derate = 0
+		return
+	}
+	pt.derate = fraction
+}
+
+// ClearImpairments removes all gray-failure state (loss and derating).
+func (pt *Port) ClearImpairments() {
+	pt.lossRate, pt.lossRng, pt.derate = 0, nil, 0
+}
 
 // Enqueue admits a packet to the appropriate queue, applying NDP trimming
 // and bulk drop policy, and kicks the transmitter.
@@ -337,7 +379,13 @@ func (pt *Port) maybeTransmit() {
 	}
 	pt.busy = true
 	pt.inflight = p
-	pt.eng.AfterCall(pt.cfg.SerializationDelay(int(p.Size)), &pt.txH, nil)
+	d := pt.cfg.SerializationDelay(int(p.Size))
+	if pt.derate != 0 {
+		// Degraded gray link: the transmitter runs at a fraction of its
+		// nominal rate, so every packet stretches by 1/derate.
+		d = eventsim.Time(float64(d) / pt.derate)
+	}
+	pt.eng.AfterCall(d, &pt.txH, nil)
 }
 
 // txComplete fires when the in-flight packet's last bit leaves the
@@ -347,6 +395,20 @@ func (pt *Port) txComplete() {
 	p := pt.inflight
 	pt.inflight = nil
 	pt.Stats.Tx[p.Class].Add(int(p.Size))
+	if pt.lossRng != nil && pt.lossRng.Float64() < pt.lossRate {
+		// Lossy gray link: the bits left the transmitter but never arrive.
+		// Same disposition as a dark link below — bulk takes the drop/NACK
+		// path, everything else relies on transport retransmission.
+		pt.Stats.LinkLoss++
+		if p.Kind == KindBulk {
+			pt.dropBulk(p)
+		} else {
+			p.Release()
+		}
+		pt.busy = false
+		pt.maybeTransmit()
+		return
+	}
 	dst := pt.resolve(pt.eng.Now())
 	if dst != nil {
 		p.dst = dst

@@ -1,15 +1,13 @@
 package sim
 
-import "github.com/opera-net/opera/internal/eventsim"
+import (
+	"fmt"
 
-// This file brings runtime fault injection to RotorNet — the third fabric
-// to implement FaultInjector after Opera (§3.6.2's detection-and-epidemic
-// model) and the static expander (instant link-state reconvergence). The
-// folded Clos remains the one fabric without an injector: its links need
-// multi-tier coordinates (tier, switch, port) that the flat (rack, sw)
-// FaultInjector surface cannot name, so it stays deferred.
-//
-// The failure-information model is simpler than Opera's epidemic: RotorNet
+	"github.com/opera-net/opera/internal/eventsim"
+)
+
+// This file brings runtime fault injection to RotorNet. The
+// failure-information model is simpler than Opera's epidemic: RotorNet
 // assumes an out-of-band management channel to keep its rotors
 // slot-synchronized (this simulator models that channel explicitly — the
 // 2 µs path RotorLB NACKs ride in the non-hybrid variant), and failure
@@ -31,11 +29,19 @@ import "github.com/opera-net/opera/internal/eventsim"
 // (the +33%-cost addition of §5.1) and is not modelled as failing with
 // the rotor side. Switch failures take a whole rotor switch — one uplink
 // per ToR — out of rotation.
+//
+// One RotorLB model gap is surfaced rather than fixed: VLB bytes parked
+// at a relay whose second leg then dies are not re-offloaded to a third
+// rack — they wait at the relay until the destination becomes directly
+// reachable again. StrandedBytes (wired by Cluster.Faults) reports them.
 
-// RotorFaults implements FaultInjector for RotorNetSim. The sw coordinate
-// of FailLink/FailSwitch names a rotor switch in [0, NumSwitches) — the
-// hybrid variant's packet uplink is not a fault coordinate.
+// RotorFaults implements FaultInjector for RotorNetSim. Tier-0 link
+// coordinates are {rack, rotor switch} with the switch in
+// [0, NumSwitches) — the hybrid variant's packet uplink is not a fault
+// coordinate. Gray impairments (lossy/degraded) apply to the named
+// rack's uplink port.
 type RotorFaults struct {
+	faultCore
 	net *RotorNetSim
 
 	linkDown [][]bool // [rack][switch]
@@ -57,6 +63,7 @@ func newRotorFaults(n *RotorNetSim) *RotorFaults {
 	}
 	rf.torDown = make([]bool, n.topo.NumRacks)
 	rf.swDown = make([]bool, n.topo.NumSwitches)
+	rf.faultCore.init(n.eng, n.faultSeed, rf)
 	return rf
 }
 
@@ -71,8 +78,8 @@ func (n *RotorNetSim) Faults() *RotorFaults {
 // FaultInjector implements FaultNetwork.
 func (n *RotorNetSim) FaultInjector() FaultInjector { return n.Faults() }
 
-// Uplinks returns the rotor-switch count — the range of the FailLink and
-// FailSwitch sw coordinate.
+// Uplinks returns the rotor-switch count — the range of the flat link and
+// switch coordinates.
 func (n *RotorNetSim) Uplinks() int { return n.topo.NumSwitches }
 
 // LinkUp reports whether the rack↔rotor-switch cable is intact and both
@@ -81,37 +88,121 @@ func (rf *RotorFaults) LinkUp(rack, sw int) bool {
 	return !rf.linkDown[rack][sw] && !rf.torDown[rack] && !rf.swDown[sw]
 }
 
+// Inject implements FaultInjector.
+func (rf *RotorFaults) Inject(t Target, f Fault, at eventsim.Time) error {
+	return rf.faultCore.inject(t, f, at)
+}
+
+// Recover implements FaultInjector.
+func (rf *RotorFaults) Recover(t Target, at eventsim.Time) error {
+	return rf.faultCore.recover(t, at)
+}
+
+// Links enumerates every rack↔rotor-switch cable, rack-major.
+func (rf *RotorFaults) Links() []LinkID {
+	topo := rf.net.topo
+	out := make([]LinkID, 0, topo.NumRacks*topo.NumSwitches)
+	for rack := 0; rack < topo.NumRacks; rack++ {
+		for sw := 0; sw < topo.NumSwitches; sw++ {
+			out = append(out, FlatLink(rack, sw))
+		}
+	}
+	return out
+}
+
+// checkTarget implements fabricFaultOps.
+func (rf *RotorFaults) checkTarget(t Target) error {
+	topo := rf.net.topo
+	switch t.Kind {
+	case TargetLink:
+		if t.Link.Tier != 0 {
+			return fmt.Errorf("sim: rotornet links are flat {rack, rotor switch}; got %v", t.Link)
+		}
+		if t.Link.Switch < 0 || t.Link.Switch >= topo.NumRacks {
+			return fmt.Errorf("sim: %v: rack %d out of range [0,%d)", t, t.Link.Switch, topo.NumRacks)
+		}
+		if t.Link.Port < 0 || t.Link.Port >= topo.NumSwitches {
+			return fmt.Errorf("sim: %v: rotor switch %d out of range [0,%d)", t, t.Link.Port, topo.NumSwitches)
+		}
+	case TargetToR:
+		if t.ID < 0 || t.ID >= topo.NumRacks {
+			return fmt.Errorf("sim: %v: rack %d out of range [0,%d)", t, t.ID, topo.NumRacks)
+		}
+	case TargetSwitch:
+		if t.Tier != 0 {
+			return fmt.Errorf("sim: %v: rotornet switches live on tier 0 (the rotor plane)", t)
+		}
+		if t.ID < 0 || t.ID >= topo.NumSwitches {
+			return fmt.Errorf("sim: %v: rotor switch %d out of range [0,%d)", t, t.ID, topo.NumSwitches)
+		}
+	default:
+		return fmt.Errorf("sim: %v: unknown target kind", t)
+	}
+	return nil
+}
+
+// linkPorts implements fabricFaultOps: gray impairments ride the named
+// rack's uplink port toward the rotor switch.
+func (rf *RotorFaults) linkPorts(l LinkID) []*Port {
+	return []*Port{rf.net.tors[l.Switch].up[l.Port]}
+}
+
+// setDown implements fabricFaultOps: instant global knowledge, so the
+// transition is a pure state flip — routing reads LinkUp live.
+func (rf *RotorFaults) setDown(t Target, down bool) {
+	switch t.Kind {
+	case TargetLink:
+		rf.linkDown[t.Link.Switch][t.Link.Port] = down
+	case TargetToR:
+		rf.torDown[t.ID] = down
+	case TargetSwitch:
+		rf.swDown[t.ID] = down
+	}
+}
+
 // FailLink schedules the rack↔rotor-switch cable to fail at the given
 // time.
+//
+// Deprecated: use Inject(LinkTarget(FlatLink(rack, sw)), DownFault(), at).
 func (rf *RotorFaults) FailLink(rack, sw int, at eventsim.Time) {
-	rf.net.eng.At(at, func() { rf.linkDown[rack][sw] = true })
+	mustInject(rf.Inject(LinkTarget(FlatLink(rack, sw)), DownFault(), at))
 }
 
 // RecoverLink schedules the cable back up; circuits over it are used
 // again from the next slot that installs them.
+//
+// Deprecated: use Recover(LinkTarget(FlatLink(rack, sw)), at).
 func (rf *RotorFaults) RecoverLink(rack, sw int, at eventsim.Time) {
-	rf.net.eng.At(at, func() { rf.linkDown[rack][sw] = false })
+	mustInject(rf.Recover(LinkTarget(FlatLink(rack, sw)), at))
 }
 
 // FailToR schedules a whole ToR to fail: all of its rotor circuits go
 // dark and its hosts become unreachable from other racks (rack-local
 // traffic still flows).
+//
+// Deprecated: use Inject(ToRTarget(rack), DownFault(), at).
 func (rf *RotorFaults) FailToR(rack int, at eventsim.Time) {
-	rf.net.eng.At(at, func() { rf.torDown[rack] = true })
+	mustInject(rf.Inject(ToRTarget(rack), DownFault(), at))
 }
 
 // RecoverToR schedules a failed ToR back online.
+//
+// Deprecated: use Recover(ToRTarget(rack), at).
 func (rf *RotorFaults) RecoverToR(rack int, at eventsim.Time) {
-	rf.net.eng.At(at, func() { rf.torDown[rack] = false })
+	mustInject(rf.Recover(ToRTarget(rack), at))
 }
 
 // FailSwitch schedules a rotor switch to fail entirely: one uplink per
 // ToR leaves the rotation.
+//
+// Deprecated: use Inject(SwitchTarget(sw), DownFault(), at).
 func (rf *RotorFaults) FailSwitch(sw int, at eventsim.Time) {
-	rf.net.eng.At(at, func() { rf.swDown[sw] = true })
+	mustInject(rf.Inject(SwitchTarget(sw), DownFault(), at))
 }
 
 // RecoverSwitch schedules a failed rotor switch back into rotation.
+//
+// Deprecated: use Recover(SwitchTarget(sw), at).
 func (rf *RotorFaults) RecoverSwitch(sw int, at eventsim.Time) {
-	rf.net.eng.At(at, func() { rf.swDown[sw] = false })
+	mustInject(rf.Recover(SwitchTarget(sw), at))
 }

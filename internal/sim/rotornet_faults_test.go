@@ -30,13 +30,13 @@ func TestRotorNetFaultInjectorExposed(t *testing.T) {
 			t.Fatalf("%v cluster should expose a FaultInjector", kind)
 		}
 	}
-	// The folded Clos stays deferred on multi-tier link coordinates.
+	// The folded Clos exposes one too, on multi-tier link coordinates.
 	clos, err := opera.New(opera.KindFoldedClos)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if clos.Faults() != nil {
-		t.Fatal("folded Clos should not expose a FaultInjector (deferred)")
+	if clos.Faults() == nil {
+		t.Fatal("folded Clos should expose a FaultInjector")
 	}
 }
 
@@ -112,6 +112,37 @@ func TestRotorNetToRFailureStrandsUntilRecovery(t *testing.T) {
 	}
 	if !rn.DirectReachable(0, 3) {
 		t.Fatal("rack 3 should be reachable again after recovery")
+	}
+}
+
+// The injector's StrandedBytes counter surfaces the known RotorLB model
+// gap: VLB bytes stored at a relay are never re-offloaded to a third
+// rack, so when the destination becomes unreachable they sit at the
+// relay until recovery. The counter reads zero on a healthy fabric,
+// positive during the outage, and zero again once the backlog drains.
+func TestRotorNetStrandedBytesFaultCounter(t *testing.T) {
+	cl, rf := rotorTestbed(t, opera.KindRotorNet)
+	sb, ok := cl.Faults().(interface{ StrandedBytes() int64 })
+	if !ok {
+		t.Fatal("rotor injector should expose StrandedBytes")
+	}
+	mustOK(t, rf.Inject(sim.ToRTarget(3), sim.DownFault(), 2*eventsim.Millisecond))
+	mustOK(t, rf.Recover(sim.ToRTarget(3), 30*eventsim.Millisecond))
+	cl.AddBulkFlow(workload.FlowSpec{Src: 0, Dst: 6, Bytes: 5_000_000})
+
+	cl.Run(eventsim.Millisecond) // ToR still up: everything is reachable
+	if got := sb.StrandedBytes(); got != 0 {
+		t.Fatalf("healthy fabric reports %d stranded bytes", got)
+	}
+	cl.Run(3 * eventsim.Millisecond) // outage: relay bytes toward rack 3 are stuck
+	if sb.StrandedBytes() == 0 {
+		t.Fatal("relay bytes toward the dead rack should read as stranded")
+	}
+	if !cl.RunUntilDone(2000 * eventsim.Millisecond) {
+		t.Fatal("flow should complete after ToR recovery")
+	}
+	if got := sb.StrandedBytes(); got != 0 {
+		t.Fatalf("drained fabric reports %d stranded bytes", got)
 	}
 }
 

@@ -30,6 +30,8 @@ type RotorNetSim struct {
 	// faults tracks runtime failures; see rotornet_faults.go for the
 	// instant-global-knowledge model (OOB management channel).
 	faults *RotorFaults
+	// faultSeed seeds deterministic gray-failure (lossy-link) draws.
+	faultSeed int64
 
 	curSlot   int64
 	listeners []func(absSlot int64)
@@ -81,16 +83,18 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return NewRotorNetSim(p.Engine, p.Sim, topo), nil
+			return NewRotorNetSim(p.Engine, p.Sim, topo, p.Seed+1), nil
 		}
 	}
 	Register("rotornet", builder(false))
 	Register("rotornet-hybrid", builder(true))
 }
 
-// NewRotorNetSim wires a RotorNet fabric.
-func NewRotorNetSim(eng *eventsim.Engine, cfg Config, topo *topology.RotorNet) *RotorNetSim {
-	n := &RotorNetSim{eng: eng, cfg: &cfg, topo: topo, metrics: NewMetrics()}
+// NewRotorNetSim wires a RotorNet fabric. seed drives deterministic
+// gray-failure draws (lossy links); topology and scheduling are
+// seed-independent.
+func NewRotorNetSim(eng *eventsim.Engine, cfg Config, topo *topology.RotorNet, seed int64) *RotorNetSim {
+	n := &RotorNetSim{eng: eng, cfg: &cfg, topo: topo, metrics: NewMetrics(), faultSeed: seed}
 	d := topo.HostsPerRack
 	n.hosts = make([]*Host, topo.NumHosts())
 	n.tors = make([]*RotorToR, topo.NumRacks)

@@ -14,7 +14,7 @@ func rotorSim(t *testing.T, hybrid bool) *sim.RotorNetSim {
 		NumRacks: 16, HostsPerRack: 4, Uplinks: 4, Hybrid: hybrid, Seed: 1,
 	})
 	eng := eventsim.New()
-	return sim.NewRotorNetSim(eng, sim.DefaultConfig(), topo)
+	return sim.NewRotorNetSim(eng, sim.DefaultConfig(), topo, 1)
 }
 
 func TestRotorNetActiveCircuits(t *testing.T) {

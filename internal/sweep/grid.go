@@ -41,6 +41,9 @@ type Grid struct {
 	// sweep_telemetry table.
 	Sketch bool    `json:"sketch"`
 	Alpha  float64 `json:"alpha"`
+	// Events is a fault schedule applied to every cell (the failure
+	// figures' sweeps), serialized with the specs to worker shards.
+	Events []scenario.EventSpec `json:"events,omitempty"`
 }
 
 // Cell is one (network, load) point of the grid and the spec indices of
@@ -143,6 +146,7 @@ func (g Grid) Expand() ([]scenario.Spec, []Cell, error) {
 				if g.Sketch {
 					sp.Retention = scenario.RetentionSpec{Sketch: true, Alpha: g.Alpha}
 				}
+				sp.Events = g.Events
 				if _, err := sp.Scenario(); err != nil {
 					return nil, nil, err
 				}

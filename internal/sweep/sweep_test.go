@@ -13,7 +13,9 @@ import (
 	"testing"
 	"time"
 
+	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/experiments"
+	"github.com/opera-net/opera/scenario"
 )
 
 // workerEnv flips the test binary into worker mode: TestMain intercepts
@@ -143,6 +145,65 @@ func TestShardedMatchesLocal(t *testing.T) {
 		}
 		if got, want := mustCSV(t, g, rep), mustCSV(t, g, local); got != want {
 			t.Errorf("%s: merged CSVs differ from local run:\n%s\n--- want ---\n%s", name, got, want)
+		}
+	}
+}
+
+// TestFaultedSweepShardedMatchesLocal: a grid carrying a fault schedule
+// — random cable cuts plus a lossy gray link, the failure figures' shape
+// — still shards byte-identically. The EventSpec list rides the gob wire
+// with the rest of each Spec, so every worker injects the same faults at
+// the same virtual times.
+func TestFaultedSweepShardedMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns packet-level worker processes")
+	}
+	g := testGrid()
+	g.Replicas = 2
+	g.Events = []scenario.EventSpec{
+		{At: 500 * eventsim.Microsecond, Op: "fail-random-links", Fraction: 0.05},
+		{At: 700 * eventsim.Microsecond,
+			Target: scenario.TargetSpec{Kind: "link", Switch: 2, Port: 1},
+			Fault:  scenario.FaultSpec{Kind: "lossy", Rate: 0.3}},
+	}
+	specs, _, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := RunLocal(context.Background(), specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local.Failed) > 0 {
+		t.Fatalf("local faulted run failed cells: %v", local.Failed)
+	}
+
+	one, err := Run(context.Background(), specs, Options{Workers: 1, Command: testWorker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Run(context.Background(), specs, Options{
+		Workers: 4, Shards: 4, Command: testWorker,
+		ShuffleDispatch: true, ShuffleSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]Report{"workers=1": one, "workers=4": four} {
+		if len(rep.Failed) > 0 {
+			t.Fatalf("%s: failed cells %v: %v", name, rep.Failed, rep.WorkerErrs)
+		}
+		for i := range specs {
+			if !rep.Results[i].Equal(local.Results[i]) {
+				t.Errorf("%s: faulted result %d differs from local", name, i)
+			}
+			if !bytes.Equal(rep.Collectors[i], local.Collectors[i]) {
+				t.Errorf("%s: faulted collector blob %d differs from local", name, i)
+			}
+		}
+		if got, want := mustCSV(t, g, rep), mustCSV(t, g, local); got != want {
+			t.Errorf("%s: faulted merged CSVs differ from local run", name)
 		}
 	}
 }

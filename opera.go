@@ -364,18 +364,35 @@ func (c *Cluster) OperaNet() *sim.OperaNet {
 }
 
 // Faults returns the fabric's runtime failure-injection surface, or nil
-// when the architecture does not model runtime faults. Opera implements
-// the §3.6.2 detection-and-epidemic recovery of its rotor fabric; the
-// static expander models instant link-state reconvergence (see
-// sim.ExpanderFaults). Use it to schedule link/ToR/switch failures and
-// recoveries at virtual times:
+// when the architecture does not model runtime faults. All four
+// registered architectures do: Opera implements the §3.6.2
+// detection-and-epidemic recovery of its rotor fabric, the static
+// expander and the folded Clos model instant link-state reconvergence
+// (see sim.ExpanderFaults and sim.ClosFaults), and RotorNet routes
+// around dead circuits over its out-of-band management channel. Faults
+// are structured: a sim.Target (link, ToR, or switch coordinate) plus a
+// sim.Fault (hard down, lossy, degraded, or flapping), scheduled at a
+// virtual time:
 //
-//	cl.Faults().FailLink(3, 2, 500*eventsim.Microsecond)
+//	inj := cl.Faults()
+//	inj.Inject(sim.LinkTarget(sim.FlatLink(3, 2)), sim.DownFault(), 500*eventsim.Microsecond)
+//	inj.Inject(sim.LinkTarget(sim.FlatLink(4, 0)), sim.LossyFault(0.01), eventsim.Millisecond)
+//	inj.Recover(sim.LinkTarget(sim.FlatLink(3, 2)), 2*eventsim.Millisecond)
+//
+// On circuit fabrics the injector's StrandedBytes counter is wired to
+// RotorLB's stranded-VLB accounting.
 func (c *Cluster) Faults() sim.FaultInjector {
-	if fn, ok := c.net.(sim.FaultNetwork); ok {
-		return fn.FaultInjector()
+	fn, ok := c.net.(sim.FaultNetwork)
+	if !ok {
+		return nil
 	}
-	return nil
+	inj := fn.FaultInjector()
+	if c.lb != nil {
+		if sp, ok := inj.(interface{ SetStrandedProbe(func() int64) }); ok {
+			sp.SetStrandedProbe(c.lb.StrandedBytes)
+		}
+	}
+	return inj
 }
 
 // BulkNACKCount reports §4.2.2 NACK retransmissions observed (circuit

@@ -69,9 +69,11 @@ type Action struct {
 func (a Action) String() string { return a.name }
 
 // faultAction wraps an injector operation with the capability check: the
-// fabric must model runtime faults (today: Opera, the expander and
-// RotorNet; the folded Clos stays deferred on multi-tier link
-// coordinates).
+// fabric must model runtime faults. All four architectures do (Opera, the
+// expander, the folded Clos and RotorNet); a fabric outside the registry
+// that does not implement sim.FaultNetwork reports it here. Target errors
+// (a switch target on the expander, a tier the fabric lacks) surface from
+// the injector itself, wrapped with the action name.
 func faultAction(name string, f func(inj sim.FaultInjector, cl *opera.Cluster, rng *rand.Rand, at eventsim.Time) error) Action {
 	return Action{name: name, apply: func(cl *opera.Cluster, rng *rand.Rand, at eventsim.Time) error {
 		inj := cl.Faults()
@@ -82,74 +84,96 @@ func faultAction(name string, f func(inj sim.FaultInjector, cl *opera.Cluster, r
 	}}
 }
 
-func checkRack(cl *opera.Cluster, name string, rack int) error {
-	if rack < 0 || rack >= cl.Network().NumRacks() {
-		return fmt.Errorf("scenario: %s: rack %d out of range [0,%d)", name, rack, cl.Network().NumRacks())
-	}
-	return nil
-}
-
-func checkSwitch(cl *opera.Cluster, name string, sw int) error {
-	if u, ok := cl.Network().(interface{ Uplinks() int }); ok {
-		if sw < 0 || sw >= u.Uplinks() {
-			return fmt.Errorf("scenario: %s: switch %d out of range [0,%d)", name, sw, u.Uplinks())
+// injectAction builds an Action that injects one structured fault.
+func injectAction(name string, target sim.Target, fault sim.Fault) Action {
+	return faultAction(name, func(inj sim.FaultInjector, _ *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := inj.Inject(target, fault, at); err != nil {
+			return fmt.Errorf("scenario: %s: %w", name, err)
 		}
-	} else if sw < 0 {
-		return fmt.Errorf("scenario: %s: negative switch %d", name, sw)
-	}
-	return nil
-}
-
-// FailLink fails the rack↔switch cable.
-func FailLink(rack, sw int) Action {
-	name := fmt.Sprintf("fail-link(%d,%d)", rack, sw)
-	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
-		if err := checkRack(cl, name, rack); err != nil {
-			return err
-		}
-		if err := checkSwitch(cl, name, sw); err != nil {
-			return err
-		}
-		inj.FailLink(rack, sw, at)
 		return nil
 	})
+}
+
+// Inject schedules an arbitrary structured fault — the fully general form
+// of the convenience constructors below:
+//
+//	scenario.At(t, scenario.Inject(
+//		sim.SwitchTarget(sim.ClosTierCore, 3), sim.DownFault()))
+func Inject(target sim.Target, fault sim.Fault) Action {
+	return injectAction(fmt.Sprintf("inject(%v,%v)", target, fault), target, fault)
+}
+
+// Recover schedules the recovery of any previously injected fault on the
+// target (down, gray, or flapping).
+func Recover(target sim.Target) Action {
+	name := fmt.Sprintf("recover(%v)", target)
+	return faultAction(name, func(inj sim.FaultInjector, _ *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := inj.Recover(target, at); err != nil {
+			return fmt.Errorf("scenario: %s: %w", name, err)
+		}
+		return nil
+	})
+}
+
+// FailLink fails the rack↔switch cable (a flat tier-0 link coordinate,
+// which every fabric interprets — on the folded Clos it names a ToR
+// uplink).
+func FailLink(rack, sw int) Action {
+	return injectAction(fmt.Sprintf("fail-link(%d,%d)", rack, sw),
+		sim.LinkTarget(sim.FlatLink(rack, sw)), sim.DownFault())
 }
 
 // FailToR fails a whole ToR: its hosts drop off and its circuits go dark.
 func FailToR(rack int) Action {
-	name := fmt.Sprintf("fail-tor(%d)", rack)
-	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
-		if err := checkRack(cl, name, rack); err != nil {
-			return err
-		}
-		inj.FailToR(rack, at)
-		return nil
-	})
+	return injectAction(fmt.Sprintf("fail-tor(%d)", rack),
+		sim.ToRTarget(rack), sim.DownFault())
 }
 
-// FailSwitch fails a rotor switch entirely.
+// FailSwitch fails a tier-0 fabric switch entirely (Opera/RotorNet: a
+// rotor switch). Fabrics without tier-0 switches report
+// sim.ErrUnsupportedTarget; multi-tier fabrics take FailTierSwitch.
 func FailSwitch(sw int) Action {
-	name := fmt.Sprintf("fail-switch(%d)", sw)
-	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
-		if err := checkSwitch(cl, name, sw); err != nil {
-			return err
-		}
-		inj.FailSwitch(sw, at)
-		return nil
-	})
+	return injectAction(fmt.Sprintf("fail-switch(%d)", sw),
+		sim.SwitchTarget(sw), sim.DownFault())
 }
 
-// RecoverLink brings a failed rack↔switch cable back up.
+// FailTierSwitch fails a switch addressed by tier — the folded Clos's
+// aggregation (sim.ClosTierAgg) and core (sim.ClosTierCore) layers.
+func FailTierSwitch(tier, id int) Action {
+	return injectAction(fmt.Sprintf("fail-switch(t%d,%d)", tier, id),
+		sim.TierSwitchTarget(tier, id), sim.DownFault())
+}
+
+// LossyLink makes the rack↔switch cable drop the given fraction of
+// packets that complete serialization (a gray failure: the link stays
+// up and keeps attracting traffic).
+func LossyLink(rack, sw int, rate float64) Action {
+	return injectAction(fmt.Sprintf("lossy-link(%d,%d,%g)", rack, sw, rate),
+		sim.LinkTarget(sim.FlatLink(rack, sw)), sim.LossyFault(rate))
+}
+
+// DegradedLink derates the rack↔switch cable to the given fraction of
+// line rate (a gray failure: serialization slows, nothing is dropped).
+func DegradedLink(rack, sw int, fraction float64) Action {
+	return injectAction(fmt.Sprintf("degraded-link(%d,%d,%g)", rack, sw, fraction),
+		sim.LinkTarget(sim.FlatLink(rack, sw)), sim.DegradedFault(fraction))
+}
+
+// FlappingLink cycles the rack↔switch cable: up for the given duration,
+// then down, repeating until recovered.
+func FlappingLink(rack, sw int, up, down eventsim.Time) Action {
+	return injectAction(fmt.Sprintf("flapping-link(%d,%d,%v,%v)", rack, sw, up, down),
+		sim.LinkTarget(sim.FlatLink(rack, sw)), sim.FlappingFault(up, down))
+}
+
+// RecoverLink brings a failed rack↔switch cable back up (and clears any
+// gray impairment or flap cycle on it).
 func RecoverLink(rack, sw int) Action {
 	name := fmt.Sprintf("recover-link(%d,%d)", rack, sw)
-	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
-		if err := checkRack(cl, name, rack); err != nil {
-			return err
+	return faultAction(name, func(inj sim.FaultInjector, _ *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := inj.Recover(sim.LinkTarget(sim.FlatLink(rack, sw)), at); err != nil {
+			return fmt.Errorf("scenario: %s: %w", name, err)
 		}
-		if err := checkSwitch(cl, name, sw); err != nil {
-			return err
-		}
-		inj.RecoverLink(rack, sw, at)
 		return nil
 	})
 }
@@ -157,63 +181,58 @@ func RecoverLink(rack, sw int) Action {
 // RecoverToR brings a failed ToR back online.
 func RecoverToR(rack int) Action {
 	name := fmt.Sprintf("recover-tor(%d)", rack)
-	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
-		if err := checkRack(cl, name, rack); err != nil {
-			return err
+	return faultAction(name, func(inj sim.FaultInjector, _ *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := inj.Recover(sim.ToRTarget(rack), at); err != nil {
+			return fmt.Errorf("scenario: %s: %w", name, err)
 		}
-		inj.RecoverToR(rack, at)
 		return nil
 	})
 }
 
-// RecoverSwitch brings a failed rotor switch back into rotation.
+// RecoverSwitch brings a failed tier-0 fabric switch back.
 func RecoverSwitch(sw int) Action {
 	name := fmt.Sprintf("recover-switch(%d)", sw)
-	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
-		if err := checkSwitch(cl, name, sw); err != nil {
-			return err
+	return faultAction(name, func(inj sim.FaultInjector, _ *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := inj.Recover(sim.SwitchTarget(sw), at); err != nil {
+			return fmt.Errorf("scenario: %s: %w", name, err)
 		}
-		inj.RecoverSwitch(sw, at)
+		return nil
+	})
+}
+
+// RecoverTierSwitch brings a tier-addressed switch back.
+func RecoverTierSwitch(tier, id int) Action {
+	name := fmt.Sprintf("recover-switch(t%d,%d)", tier, id)
+	return faultAction(name, func(inj sim.FaultInjector, _ *opera.Cluster, _ *rand.Rand, at eventsim.Time) error {
+		if err := inj.Recover(sim.TierSwitchTarget(tier, id), at); err != nil {
+			return fmt.Errorf("scenario: %s: %w", name, err)
+		}
 		return nil
 	})
 }
 
 // FailRandomLinks fails the given fraction of physical cables, chosen
 // uniformly (the sampling of §5.5's link-failure sweeps) from the
-// Scenario-seeded generator: the same Scenario fails the same links.
-// Fabrics whose coordinate space names each cable from both ends (the
-// expander) expose a deduplicated link universe so the fraction counts
-// cables, not endpoints.
+// Scenario-seeded generator: the same Scenario fails the same links. The
+// sample space is the injector's Links() universe — one coordinate per
+// physical cable on every fabric (the expander deduplicates its
+// two-ended naming; the Clos spans both cable tiers), so the fraction
+// counts cables, not endpoints.
 func FailRandomLinks(fraction float64) Action {
 	name := fmt.Sprintf("fail-random-links(%g)", fraction)
-	return faultAction(name, func(inj sim.FaultInjector, cl *opera.Cluster, rng *rand.Rand, at eventsim.Time) error {
+	return faultAction(name, func(inj sim.FaultInjector, _ *opera.Cluster, rng *rand.Rand, at eventsim.Time) error {
 		if !(fraction >= 0 && fraction <= 1) { // also rejects NaN
 			return fmt.Errorf("scenario: %s: fraction must be in [0,1]", name)
 		}
-		if dl, ok := inj.(interface{ DistinctLinks() [][2]int }); ok {
-			links := dl.DistinctLinks()
-			k := int(fraction*float64(len(links)) + 0.5)
-			if k > len(links) {
-				k = len(links)
+		links := inj.Links()
+		k := int(fraction*float64(len(links)) + 0.5)
+		if k > len(links) {
+			k = len(links)
+		}
+		for _, idx := range rng.Perm(len(links))[:k] {
+			if err := inj.Inject(sim.LinkTarget(links[idx]), sim.DownFault(), at); err != nil {
+				return fmt.Errorf("scenario: %s: %w", name, err)
 			}
-			for _, idx := range rng.Perm(len(links))[:k] {
-				inj.FailLink(links[idx][0], links[idx][1], at)
-			}
-			return nil
-		}
-		// Fabrics whose (rack, switch) coordinates map 1:1 to cables
-		// (Opera: one port per rack per rotor switch).
-		u, ok := cl.Network().(interface{ Uplinks() int })
-		if !ok {
-			return fmt.Errorf("scenario: %s: architecture %v does not expose uplinks", name, cl.Kind())
-		}
-		n, m := cl.Network().NumRacks(), u.Uplinks()
-		k := int(fraction*float64(n*m) + 0.5)
-		if k > n*m {
-			k = n * m
-		}
-		for _, idx := range rng.Perm(n * m)[:k] {
-			inj.FailLink(idx/m, idx%m, at)
 		}
 		return nil
 	})

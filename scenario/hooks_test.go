@@ -2,6 +2,7 @@ package scenario_test
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	opera "github.com/opera-net/opera"
@@ -191,19 +192,36 @@ func TestTagOverSharedFixedWorkload(t *testing.T) {
 	}
 }
 
-// A fault schedule on a fabric without runtime fault support surfaces as
-// Result.Err, not a panic or a silent no-op. (Opera and the expander
-// support injection; the folded Clos does not yet.)
+// An unsupported fault target surfaces as Result.Err, not a panic or a
+// silent no-op: the expander has no fabric switches, so a switch-failure
+// schedule on it reports sim.ErrUnsupportedTarget. (All four
+// architectures support injection itself; the folded Clos — once the
+// unsupported fabric here — now takes the same schedules as the rest.)
 func TestFaultScheduleUnsupportedKind(t *testing.T) {
 	res := scenario.Run(scenario.Scenario{
+		Name:     "expander-switch-fault",
+		Kind:     opera.KindExpander,
+		Seed:     1,
+		Events:   []scenario.Event{scenario.At(0, scenario.FailSwitch(0))},
+		Duration: eventsim.Millisecond,
+	})
+	if res.Err == "" {
+		t.Fatal("expected Err for switch-failure schedule on expander")
+	}
+	if !strings.Contains(res.Err, sim.ErrUnsupportedTarget.Error()) {
+		t.Fatalf("Err should cite the unsupported target: %q", res.Err)
+	}
+
+	// The folded Clos now runs flat link schedules like every fabric.
+	res = scenario.Run(scenario.Scenario{
 		Name:     "clos-faults",
 		Kind:     opera.KindFoldedClos,
 		Seed:     1,
 		Events:   []scenario.Event{scenario.At(0, scenario.FailLink(0, 0))},
 		Duration: eventsim.Millisecond,
 	})
-	if res.Err == "" {
-		t.Fatal("expected Err for fault schedule on foldedclos")
+	if res.Err != "" {
+		t.Fatalf("flat link schedule on foldedclos should run: %v", res.Err)
 	}
 }
 

@@ -110,6 +110,86 @@ func TestSpecErrors(t *testing.T) {
 	}
 }
 
+// TestSpecEventsGobRoundTrip: a fault schedule rides the same wire as
+// the rest of the Spec — every event op and fault kind survives gob and
+// resolves back into scheduled Events.
+func TestSpecEventsGobRoundTrip(t *testing.T) {
+	sp := Spec{
+		Name: "faulted", Network: "foldedclos", Seed: 4, Duration: 10 * eventsim.Millisecond,
+		ClosK: 8, ClosF: 3,
+		Sources: []SourceSpec{{Type: "shuffle", FlowBytes: 25_000, Stagger: 10 * eventsim.Microsecond}},
+		Events: []EventSpec{
+			{At: 100 * eventsim.Microsecond, Target: TargetSpec{Kind: "link", Switch: 2, Port: 1}},
+			{At: 200 * eventsim.Microsecond, Op: "inject",
+				Target: TargetSpec{Kind: "link", Tier: 2, Switch: 0, Port: 3},
+				Fault:  FaultSpec{Kind: "lossy", Rate: 0.25}},
+			{At: 300 * eventsim.Microsecond, Op: "inject",
+				Target: TargetSpec{Kind: "link", Switch: 5, Port: 0},
+				Fault:  FaultSpec{Kind: "degraded", RateFraction: 0.5}},
+			{At: 400 * eventsim.Microsecond, Op: "inject",
+				Target: TargetSpec{Kind: "link", Switch: 7, Port: 2},
+				Fault:  FaultSpec{Kind: "flapping", Up: eventsim.Millisecond, Down: eventsim.Millisecond}},
+			{At: 500 * eventsim.Microsecond, Op: "inject",
+				Target: TargetSpec{Kind: "switch", Tier: 2, ID: 1}},
+			{At: 600 * eventsim.Microsecond, Op: "inject", Target: TargetSpec{Kind: "tor", ID: 9}},
+			{At: 700 * eventsim.Microsecond, Op: "fail-random-links", Fraction: 0.05},
+			{At: 2 * eventsim.Millisecond, Op: "recover", Target: TargetSpec{Kind: "link", Switch: 2, Port: 1}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sp); err != nil {
+		t.Fatal(err)
+	}
+	var got Spec
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sp) {
+		t.Fatalf("gob round trip changed the spec:\ngot  %+v\nwant %+v", got, sp)
+	}
+	sc, err := got.Scenario()
+	if err != nil {
+		t.Fatalf("round-tripped spec does not resolve: %v", err)
+	}
+	if len(sc.Events) != len(sp.Events) {
+		t.Fatalf("resolved %d events, want %d", len(sc.Events), len(sp.Events))
+	}
+	for i, ev := range sc.Events {
+		if ev.At != sp.Events[i].At {
+			t.Fatalf("event %d fires at %v, want %v", i, ev.At, sp.Events[i].At)
+		}
+	}
+}
+
+// Bad event specs are rejected at Spec.Scenario() with the event index
+// in the message — before any worker spends simulation time on them.
+func TestSpecEventErrors(t *testing.T) {
+	base := Spec{
+		Name: "ev", Network: "opera", Duration: eventsim.Millisecond,
+		Sources: []SourceSpec{{Type: "shuffle", FlowBytes: 1000}},
+	}
+	for name, ev := range map[string]EventSpec{
+		"unknown-op":      {Op: "melt"},
+		"unknown-target":  {Target: TargetSpec{Kind: "cable"}},
+		"unknown-fault":   {Target: TargetSpec{Kind: "link"}, Fault: FaultSpec{Kind: "cosmic"}},
+		"bad-lossy-rate":  {Target: TargetSpec{Kind: "link"}, Fault: FaultSpec{Kind: "lossy", Rate: 2}},
+		"bad-degraded":    {Target: TargetSpec{Kind: "link"}, Fault: FaultSpec{Kind: "degraded", RateFraction: 1}},
+		"bad-flap":        {Target: TargetSpec{Kind: "link"}, Fault: FaultSpec{Kind: "flapping", Up: -1}},
+		"recover-no-kind": {Op: "recover", Target: TargetSpec{Kind: "socket"}},
+	} {
+		sp := base
+		sp.Events = []EventSpec{ev}
+		_, err := sp.Scenario()
+		if err == nil {
+			t.Errorf("%s: Scenario() succeeded, want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "event 0") {
+			t.Errorf("%s: error %v does not locate the event", name, err)
+		}
+	}
+}
+
 // TestSpecErrorsNameTheProblem spot-checks that diagnostics carry enough
 // context to find the bad cell in a thousand-spec grid.
 func TestSpecErrorsNameTheProblem(t *testing.T) {
