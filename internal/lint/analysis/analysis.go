@@ -1,0 +1,63 @@
+// Package analysis is a minimal, dependency-free subset of
+// golang.org/x/tools/go/analysis: just enough surface for the opera-lint
+// analyzers and their tests.
+//
+// The repository builds hermetically — no module downloads — so vendoring
+// the real x/tools module is not an option; instead this package mirrors
+// its API shape (Analyzer, Pass, Diagnostic, Pass.Reportf) exactly. If the
+// build environment ever grows a vendored golang.org/x/tools, the four
+// analyzers under internal/lint can switch to it by changing only their
+// import paths: every field and method used here has the same name and
+// meaning as the upstream original.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass: a name, a documentation
+// string, and a Run function applied once per type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//operalint:allow <name>` suppression directives (see the lintutil
+	// package for the directive convention).
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a package. It must report findings via
+	// pass.Report/Reportf rather than by returning them; the result value
+	// exists only for x/tools API compatibility and is ignored by the
+	// opera-lint driver.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass presents one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet // positions for Files
+	Files     []*ast.File    // the package's syntax, parsed with comments
+	Pkg       *types.Package // the type-checked package
+	TypesInfo *types.Info    // type information for Files
+
+	// Report delivers one diagnostic. The driver and the analysistest
+	// harness install their own sinks.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,85 @@
+// Package determrand defines an analyzer that forbids wall-clock reads
+// and globally-seeded randomness in simulation code.
+//
+// Every result this repository publishes depends on bit-exact
+// reproducibility: the same seed must yield byte-identical figure CSVs at
+// any parallelism, worker count, or shard order. That contract dies the
+// moment library code reads the wall clock (time.Now and friends) or
+// draws from math/rand's process-global generator (rand.Intn,
+// rand.Shuffle, ...): the global source is shared across goroutines, so
+// scenario fan-out makes draws race-ordered, and wall-clock seeds differ
+// per run by construction.
+//
+// The analyzer applies to every non-main package (command binaries may
+// time themselves for progress output); simulation code must derive
+// *rand.Rand instances from the engine/scenario seed (rand.New(
+// rand.NewSource(seed)) is fine — constructors are exempt) and take all
+// times from the engine clock. Genuinely non-simulation uses can carry
+// `//operalint:allow determrand -- reason`.
+package determrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/opera-net/opera/internal/lint/analysis"
+	"github.com/opera-net/opera/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determrand",
+	Doc: "forbid wall-clock time and global-RNG draws in simulation packages\n\n" +
+		"Flags time.Now/Since/Until and package-level math/rand draws (Intn,\n" +
+		"Shuffle, ...) outside package main; derive RNGs from the engine or\n" +
+		"scenario seed and times from the engine clock, or annotate with\n" +
+		"//operalint:allow determrand.",
+	Run: run,
+}
+
+// wallClockFuncs are the time package's wall-clock reads.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand (and v2) package-level functions that
+// build explicitly-seeded generators rather than drawing from the global
+// one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	allow := lintutil.NewAllowlist(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := lintutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are seeded by construction
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] && !allow.Allows(call.Pos(), "determrand") {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock; simulation code must be deterministic — use the engine clock, or annotate with //operalint:allow determrand", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if randConstructors[fn.Name()] || allow.Allows(call.Pos(), "determrand") {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the process-global RNG; derive a generator from the engine/scenario seed (rand.New(rand.NewSource(seed))), or annotate with //operalint:allow determrand", fn.Pkg().Path(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

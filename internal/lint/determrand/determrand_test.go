@@ -1,0 +1,12 @@
+package determrand_test
+
+import (
+	"testing"
+
+	"github.com/opera-net/opera/internal/lint/analysistest"
+	"github.com/opera-net/opera/internal/lint/determrand"
+)
+
+func TestDetermRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determrand.Analyzer, "simlib", "mainprog")
+}

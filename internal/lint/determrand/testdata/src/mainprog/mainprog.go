@@ -1,0 +1,14 @@
+// Command binaries may time themselves for progress output: package main
+// is exempt and the analyzer must stay silent here.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	_ = rand.Intn(4)
+	_ = time.Since(start)
+}

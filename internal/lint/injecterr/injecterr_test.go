@@ -1,0 +1,12 @@
+package injecterr_test
+
+import (
+	"testing"
+
+	"github.com/opera-net/opera/internal/lint/analysistest"
+	"github.com/opera-net/opera/internal/lint/injecterr"
+)
+
+func TestInjectErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), injecterr.Analyzer, "consumer")
+}

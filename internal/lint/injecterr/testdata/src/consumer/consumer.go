@@ -1,0 +1,43 @@
+package consumer
+
+import (
+	"sim"
+	"telemetry"
+)
+
+func bad(inj sim.FaultInjector, s, o *telemetry.Sketch, c *telemetry.Collector, blob []byte) {
+	inj.Inject(sim.Target{}, sim.Fault{}, 5) // want `sim\.Inject error is discarded`
+	inj.Recover(sim.Target{}, 5)             // want `sim\.Recover error is discarded`
+	s.TryMerge(o)                            // want `telemetry\.TryMerge error is discarded`
+	c.UnmarshalBinary(blob)                  // want `telemetry\.UnmarshalBinary error is discarded`
+	_ = s.TryMerge(o)                        // want `telemetry\.TryMerge error is discarded`
+	go c.UnmarshalBinary(blob)               // want `telemetry\.UnmarshalBinary error is discarded`
+	defer c.UnmarshalBinary(blob)            // want `telemetry\.UnmarshalBinary error is discarded`
+}
+
+func concrete(inj sim.Injector) {
+	inj.Inject(sim.Target{}, sim.Fault{}, 5) // want `sim\.Inject error is discarded`
+}
+
+func good(inj sim.FaultInjector, s, o *telemetry.Sketch, c *telemetry.Collector, blob []byte) error {
+	if err := inj.Inject(sim.Target{}, sim.Fault{}, 5); err != nil {
+		return err
+	}
+	err := s.TryMerge(o)
+	if err != nil {
+		return err
+	}
+	return c.UnmarshalBinary(blob)
+}
+
+func allowed(inj sim.FaultInjector) {
+	inj.Recover(sim.Target{}, 5) //operalint:allow injecterr -- probing panic behavior only
+}
+
+type local struct{}
+
+func (local) Inject() error { return nil }
+
+func notWatched() {
+	local{}.Inject() // good: not the sim package's Inject
+}

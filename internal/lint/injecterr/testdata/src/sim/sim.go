@@ -1,0 +1,19 @@
+// Package sim is a fixture stand-in for internal/sim's fault-injection
+// surface.
+package sim
+
+type Time int64
+
+type Target struct{}
+
+type Fault struct{}
+
+type FaultInjector interface {
+	Inject(t Target, f Fault, at Time) error
+	Recover(t Target, at Time) error
+}
+
+type Injector struct{}
+
+func (Injector) Inject(t Target, f Fault, at Time) error { return nil }
+func (Injector) Recover(t Target, at Time) error         { return nil }

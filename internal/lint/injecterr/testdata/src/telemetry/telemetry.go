@@ -1,0 +1,11 @@
+// Package telemetry is a fixture stand-in for internal/telemetry's
+// merge and codec surface.
+package telemetry
+
+type Sketch struct{}
+
+func (*Sketch) TryMerge(other *Sketch) error { return nil }
+
+type Collector struct{}
+
+func (*Collector) UnmarshalBinary(data []byte) error { return nil }

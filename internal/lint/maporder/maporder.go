@@ -1,0 +1,153 @@
+// Package maporder defines an analyzer that flags order-sensitive
+// iteration over Go maps in the packages where map order has bitten
+// before.
+//
+// Go randomizes map iteration order per run. That is harmless when each
+// iteration touches disjoint state, but it silently breaks the
+// repository's byte-identity contract when the body does anything whose
+// result depends on visit order: appending to a slice (CSV rows, merge
+// queues), scheduling engine events (tie-order is (time, seq) — seq is
+// assignment order), writing output, or accumulating floats (addition is
+// not associative in the last ulp — the exact hazard behind the "merge
+// collectors in global index order" sweep landmine).
+//
+// The analyzer checks the packages where these invariants live (sim,
+// telemetry, sweep, scenario). The canonical fix — collect the keys,
+// sort, then iterate the sorted slice — is recognized: a loop whose only
+// effect is appending the key itself to a slice is exempt. Loops that are
+// order-insensitive for deeper reasons carry
+// `//operalint:allow maporder -- reason`.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/opera-net/opera/internal/lint/analysis"
+	"github.com/opera-net/opera/internal/lint/lintutil"
+)
+
+// orderedPackages are the import-path bases whose outputs must be
+// byte-identical across runs.
+var orderedPackages = []string{"sim", "telemetry", "sweep", "scenario"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive range-over-map loops in determinism-critical packages\n\n" +
+		"Flags ranging over a map when the body appends to a slice, schedules\n" +
+		"events, writes output, or accumulates floats; collect-and-sort the\n" +
+		"keys first, or annotate with //operalint:allow maporder.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PackageIs(pass.Pkg, orderedPackages...) {
+		return nil, nil
+	}
+	allow := lintutil.NewAllowlist(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if allow.Allows(rng.Pos(), "maporder") {
+				return true
+			}
+			if hazard := findHazard(pass.TypesInfo, rng); hazard != "" {
+				pass.Reportf(rng.Pos(),
+					"map iteration order is randomized but this loop %s; collect and sort the keys first, or annotate with //operalint:allow maporder", hazard)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// findHazard scans the loop body for an operation whose outcome depends
+// on iteration order, returning a description of the first one found.
+func findHazard(info *types.Info, rng *ast.RangeStmt) string {
+	keyIdent, _ := rng.Key.(*ast.Ident)
+	var hazard string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if hazard != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch obj := lintutil.Callee(info, n).(type) {
+			case *types.Builtin:
+				if obj.Name() == "append" && !isKeyCollect(info, n, keyIdent) {
+					hazard = "appends to a slice in iteration order"
+				}
+			case *types.Func:
+				if name, ok := lintutil.IsEngineSchedule(info, n); ok {
+					hazard = "schedules engine events in iteration order (Engine." + name + "; tie-order is scheduling order)"
+				} else if isOutputWrite(obj) {
+					hazard = "writes output in iteration order (" + obj.Name() + ")"
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if isFloat(info.TypeOf(n.Lhs[0])) {
+					hazard = "accumulates floating-point values (addition is order-sensitive in the last ulp)"
+				}
+			}
+		case *ast.IncDecStmt:
+			if isFloat(info.TypeOf(n.X)) {
+				hazard = "accumulates floating-point values (addition is order-sensitive in the last ulp)"
+			}
+		}
+		return true
+	})
+	return hazard
+}
+
+// isFloat reports whether t's underlying type is a floating-point (or
+// complex) basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isKeyCollect recognizes the canonical sort-the-keys idiom: an append
+// whose sole appended element is the range key itself, as in
+// keys = append(keys, k). Collected keys are order-free once sorted.
+func isKeyCollect(info *types.Info, call *ast.CallExpr, key *ast.Ident) bool {
+	if key == nil || len(call.Args) != 2 {
+		return false
+	}
+	keyObj := info.Defs[key]
+	if keyObj == nil {
+		keyObj = info.Uses[key] // `for k = range m` over a pre-declared k
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return ok && keyObj != nil && info.Uses[arg] == keyObj
+}
+
+// isOutputWrite reports whether fn is an output call: fmt's writer-style
+// printers or a Write* method (io.Writer, strings.Builder, csv.Writer...).
+func isOutputWrite(fn *types.Func) bool {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return true
+		}
+	}
+	if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "WriteAll":
+			return true
+		}
+	}
+	return false
+}

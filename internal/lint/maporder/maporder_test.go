@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/opera-net/opera/internal/lint/analysistest"
+	"github.com/opera-net/opera/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "sim", "unordered")
+}

@@ -1,0 +1,12 @@
+// Package unordered is not one of the determinism-critical package
+// bases, so the analyzer must stay silent even on an order-sensitive
+// loop.
+package unordered
+
+func collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

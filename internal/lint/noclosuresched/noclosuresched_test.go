@@ -1,0 +1,12 @@
+package noclosuresched_test
+
+import (
+	"testing"
+
+	"github.com/opera-net/opera/internal/lint/analysistest"
+	"github.com/opera-net/opera/internal/lint/noclosuresched"
+)
+
+func TestNoClosureSched(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noclosuresched.Analyzer, "sim", "coldcode")
+}

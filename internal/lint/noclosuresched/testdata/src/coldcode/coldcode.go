@@ -1,0 +1,10 @@
+// Package coldcode is not one of the hot-path package bases, so closure
+// scheduling here is fine and the analyzer must stay silent.
+package coldcode
+
+import "eventsim"
+
+func setup(eng *eventsim.Engine) {
+	eng.At(5, func() {})
+	eng.After(5, func() {})
+}

@@ -1,0 +1,19 @@
+package sim
+
+import "eventsim"
+
+type pump struct{}
+
+func (p *pump) OnEvent(arg any) {}
+
+func schedule(eng *eventsim.Engine, p *pump) {
+	eng.At(5, func() {})    // want `closure literal scheduled via Engine\.At allocates per event`
+	eng.After(5, func() {}) // want `closure literal scheduled via Engine\.After allocates per event`
+
+	eng.AtCall(5, p, nil)    // good: pre-bound form
+	eng.AfterCall(5, p, nil) // good: pre-bound form
+
+	//operalint:allow closuresched -- cold path: runs once at setup
+	eng.At(5, func() {})
+	eng.After(5, func() {}) //operalint:allow closuresched -- trailing form
+}

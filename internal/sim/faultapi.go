@@ -321,6 +321,85 @@ func (fc *faultCore) linkSeed(l LinkID, end int) int64 {
 	return z ^ (z >> 31)
 }
 
+// faultOpKind discriminates the scheduled fault transitions a faultOp
+// can carry.
+type faultOpKind uint8
+
+const (
+	opGray      faultOpKind = iota // apply lossy/degraded impairments
+	opDown                         // cut the target
+	opFlapStart                    // begin a flap cycle (first transition is down)
+	opFlapStep                     // one flap transition; reschedules itself
+	opRecover                      // clear down state, impairments, flap cycle
+)
+
+// faultOp is the pre-bound eventsim.Handler for one scheduled fault
+// transition: one allocation per Inject/Recover call instead of one
+// closure per event. A flap cycle reuses its single faultOp across every
+// transition — the engine guarantees an event fires at most once, and a
+// flap schedules exactly one successor, so the op is never doubly
+// pending.
+type faultOp struct {
+	fc   *faultCore
+	kind faultOpKind
+	t    Target
+	f    Fault
+	gen  uint64 // flap-cycle generation; stale ⇒ the cycle is over
+	down bool   // phase the next flap transition applies
+}
+
+// OnEvent implements eventsim.Handler.
+func (op *faultOp) OnEvent(any) {
+	fc := op.fc
+	switch op.kind {
+	case opGray:
+		for end, pt := range fc.ops.linkPorts(op.t.Link) {
+			if op.f.Kind == FaultLossy {
+				pt.SetLossRate(op.f.Rate, fc.linkSeed(op.t.Link, end))
+			} else {
+				pt.SetRateDerating(op.f.RateFraction)
+			}
+		}
+	case opDown:
+		fc.bumpGen(op.t) // an explicit cut overrides an active flap
+		fc.ops.setDown(op.t, true)
+	case opFlapStart:
+		// The generation is claimed at fire time, not at Inject time, so
+		// an earlier-scheduled fault on the same target stays overridden.
+		op.kind = opFlapStep
+		op.gen = fc.bumpGen(op.t)
+		op.down = true
+		op.flapStep()
+	case opFlapStep:
+		op.flapStep()
+	case opRecover:
+		fc.bumpGen(op.t)
+		if op.t.Kind == TargetLink {
+			for _, pt := range fc.ops.linkPorts(op.t.Link) {
+				pt.ClearImpairments()
+			}
+		}
+		fc.ops.setDown(op.t, false)
+	}
+}
+
+// flapStep applies one flap transition and schedules the next; a stale
+// generation (a newer fault or a recovery reached the target) ends the
+// cycle without touching the fabric.
+func (op *faultOp) flapStep() {
+	fc := op.fc
+	if fc.flapGen[op.t] != op.gen {
+		return
+	}
+	fc.ops.setDown(op.t, op.down)
+	d := op.f.Up
+	if op.down {
+		d = op.f.Down
+	}
+	op.down = !op.down
+	fc.eng.AfterCall(d, op, nil)
+}
+
 // inject implements FaultInjector.Inject over the fabric ops.
 func (fc *faultCore) inject(t Target, f Fault, at eventsim.Time) error {
 	if err := f.Validate(); err != nil {
@@ -336,16 +415,7 @@ func (fc *faultCore) inject(t Target, f Fault, at eventsim.Time) error {
 		if t.Kind != TargetLink {
 			return fmt.Errorf("sim: %v fault applies to links, not %v targets", f.Kind, t.Kind)
 		}
-		l := t.Link
-		fc.eng.At(at, func() {
-			for end, pt := range fc.ops.linkPorts(l) {
-				if f.Kind == FaultLossy {
-					pt.SetLossRate(f.Rate, fc.linkSeed(l, end))
-				} else {
-					pt.SetRateDerating(f.RateFraction)
-				}
-			}
-		})
+		fc.eng.AtCall(at, &faultOp{fc: fc, kind: opGray, t: t, f: f}, nil)
 		return nil
 	}
 	if f.Kind == FaultFlapping && t.Kind != TargetLink {
@@ -353,31 +423,11 @@ func (fc *faultCore) inject(t Target, f Fault, at eventsim.Time) error {
 	}
 	switch f.Kind {
 	case FaultDown:
-		fc.eng.At(at, func() {
-			fc.bumpGen(t) // an explicit cut overrides an active flap
-			fc.ops.setDown(t, true)
-		})
+		fc.eng.AtCall(at, &faultOp{fc: fc, kind: opDown, t: t}, nil)
 	case FaultFlapping:
-		fc.eng.At(at, func() {
-			fc.flapStep(t, f, fc.bumpGen(t), true)
-		})
+		fc.eng.AtCall(at, &faultOp{fc: fc, kind: opFlapStart, t: t, f: f}, nil)
 	}
 	return nil
-}
-
-// flapStep applies one flap transition and schedules the next; a stale
-// generation (a newer fault or a recovery reached the target) ends the
-// cycle without touching the fabric.
-func (fc *faultCore) flapStep(t Target, f Fault, gen uint64, down bool) {
-	if fc.flapGen[t] != gen {
-		return
-	}
-	fc.ops.setDown(t, down)
-	d := f.Up
-	if down {
-		d = f.Down
-	}
-	fc.eng.After(d, func() { fc.flapStep(t, f, gen, !down) })
 }
 
 // recover implements FaultInjector.Recover over the fabric ops: at the
@@ -390,15 +440,7 @@ func (fc *faultCore) recover(t Target, at eventsim.Time) error {
 	if err := fc.ops.checkTarget(t); err != nil {
 		return err
 	}
-	fc.eng.At(at, func() {
-		fc.bumpGen(t)
-		if t.Kind == TargetLink {
-			for _, pt := range fc.ops.linkPorts(t.Link) {
-				pt.ClearImpairments()
-			}
-		}
-		fc.ops.setDown(t, false)
-	})
+	fc.eng.AtCall(at, &faultOp{fc: fc, kind: opRecover, t: t}, nil)
 	return nil
 }
 
