@@ -2,7 +2,7 @@
 # so a clean `make lint` locally means the static-analysis gate passes.
 GO ?= go
 
-.PHONY: lint test short race fmt check
+.PHONY: lint test short race fmt check bench
 
 ## lint: go vet + the opera-lint determinism/hot-path analyzers over ./...
 lint:
@@ -23,6 +23,11 @@ race:
 	$(GO) test -race ./scenario/ ./internal/workload/ ./internal/sweep/ ./internal/telemetry/
 	$(GO) test -race -short -run 'Source' .
 	$(GO) test -race -run 'Fault|Flap|Lossy' ./internal/sim/ ./scenario/
+
+## bench: engine/transport hot-path benchmarks -> BENCH_engine.json
+## (PortEnqueue, EngineSchedule dense/sparse wheel-vs-heap, SourceSteadyState)
+bench:
+	$(GO) run ./cmd/opera-bench -out BENCH_engine.json
 
 ## fmt: list files needing gofmt (exits nonzero if any)
 fmt:

@@ -1,10 +1,14 @@
 // Package eventsim provides a deterministic discrete-event simulation engine.
 //
 // The engine maintains a virtual clock with nanosecond resolution and a
-// priority queue of pending events. Events scheduled for the same instant
-// fire in FIFO order of scheduling, which—together with explicit seeding of
-// all random number generators—makes every simulation in this repository
-// fully deterministic and reproducible.
+// pluggable pending-event store (see Scheduler): by default a hierarchical
+// timing wheel that schedules and pops the dense, near-monotonic timestamp
+// streams of packet simulation in O(1), with a binary-heap implementation
+// retained as a differential-testing oracle. Events scheduled for the same
+// instant fire in FIFO order of scheduling — every Scheduler must preserve
+// the (time, seq) total order exactly — which, together with explicit
+// seeding of all random number generators, makes every simulation in this
+// repository fully deterministic and reproducible.
 //
 // The engine is intentionally single-threaded: datacenter packet simulation
 // is dominated by fine-grained causally-ordered events, and a lock-free
@@ -14,9 +18,10 @@
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+
+	"github.com/opera-net/opera/internal/freelist"
 )
 
 // Time is a point in virtual time, measured in integer nanoseconds from the
@@ -71,14 +76,16 @@ type Handler interface {
 // pooled: once an event has fired (or its cancelled slot has drained from
 // the queue) the engine recycles the object for a future schedule, so
 // callers must not retain or use an Event past its scheduled time — which
-// was already the contract.
+// was already the contract. The fields an implementation of Scheduler
+// orders by are at and seq; nothing in the Event records which scheduler
+// holds it.
 type Event struct {
 	at        Time
 	seq       uint64 // scheduling order; breaks ties at equal time
 	fn        func()
 	h         Handler // pre-bound form; takes precedence over fn
 	arg       any
-	index     int // heap index; -1 once fired or cancelled
+	pending   bool // in a scheduler and not yet popped
 	cancelled bool
 }
 
@@ -92,42 +99,84 @@ func (e *Event) At() Time { return e.at }
 // silently cancel that one instead. Holders that may outlive their event
 // must drop the reference when it fires (as Timer does).
 func (e *Event) Cancel() bool {
-	if e.cancelled || e.index == -1 {
+	if e.cancelled || !e.pending {
 		return false
 	}
 	e.cancelled = true
 	return true
 }
 
+// before reports whether e is ordered before o in the engine's total event
+// order: ascending time, ties broken by ascending seq (scheduling order).
+// This is the one ordering every Scheduler implementation must agree on.
+func (e *Event) before(o *Event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// Scheduler is the engine's pending-event store. Push inserts an event;
+// Pop removes and returns the minimum event in (time, seq) order, nil when
+// empty; Peek returns that minimum without removing it; Len reports how
+// many events are stored (including cancelled ones, which drain lazily).
+//
+// The ordering contract is exact, not approximate: two schedulers fed the
+// same Push sequence must Pop the identical event sequence, including FIFO
+// order among events at the same instant (the intra-bucket seq-FIFO
+// invariant). The wheel implementation (NewWheelScheduler, the default) is
+// O(1) for the dense near-monotonic common case; the heap implementation
+// (NewHeapScheduler) is the simple O(log n) oracle the differential tests
+// compare against. Implementations are not safe for concurrent use.
+type Scheduler interface {
+	Push(*Event)
+	Pop() *Event
+	Peek() *Event
+	Len() int
+}
+
 // Engine is a discrete-event scheduler. The zero value is not usable; call
-// New.
+// New or NewWith.
 type Engine struct {
 	now    Time
-	queue  eventHeap
+	sched  Scheduler
 	seq    uint64
 	nSteps uint64 // total events executed
 
+	// firing is the event whose callback is currently executing. Holding
+	// it (instead of recycling before the callback runs) lets ContinueCall
+	// re-arm the same object for the next hop of a deterministic chain —
+	// serialize→propagate→deliver, pacer and pump self-rescheduling —
+	// without a free-list round trip.
+	firing *Event
+
 	// free is the event free list. The engine is single-goroutine by
-	// design, so a plain slice beats sync.Pool: no locking, and the pool
+	// design, so a plain LIFO beats sync.Pool: no locking, and the pool
 	// survives garbage collections (GC clears sync.Pools, which would
 	// reintroduce steady-state allocations).
-	free []*Event
+	free freelist.Pool[Event]
 }
 
-// New returns an empty engine with the clock at the epoch.
+// New returns an empty engine with the clock at the epoch, using the
+// default timing-wheel scheduler.
 func New() *Engine {
-	e := &Engine{}
-	e.queue = make(eventHeap, 0, 1024)
-	return e
+	return NewWith(NewWheelScheduler())
+}
+
+// NewWith returns an empty engine using the given pending-event store.
+// Simulation results are scheduler-independent by contract; NewWith exists
+// for differential testing (wheel vs heap) and benchmarking.
+func NewWith(s Scheduler) *Engine {
+	return &Engine{sched: s}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Len returns the number of pending (non-cancelled) events. Cancelled events
-// still occupy queue slots until their scheduled time, so Len is an upper
-// bound on the number of callbacks that will actually run.
-func (e *Engine) Len() int { return len(e.queue) }
+// still occupy scheduler slots until their scheduled time, so Len is an
+// upper bound on the number of callbacks that will actually run.
+func (e *Engine) Len() int { return e.sched.Len() }
 
 // Steps returns the total number of events executed so far. It is useful for
 // reporting simulation effort in benchmarks.
@@ -137,10 +186,7 @@ func (e *Engine) Steps() uint64 { return e.nSteps }
 // when the pool is dry (startup, or a new high-water mark of concurrently
 // pending events).
 func (e *Engine) alloc() *Event {
-	if n := len(e.free); n > 0 {
-		ev := e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
+	if ev := e.free.Get(); ev != nil {
 		return ev
 	}
 	return new(Event)
@@ -149,8 +195,16 @@ func (e *Engine) alloc() *Event {
 // recycle zeroes an event (dropping callback and arg references so they can
 // be collected) and returns it to the free list.
 func (e *Engine) recycle(ev *Event) {
-	*ev = Event{index: -1}
-	e.free = append(e.free, ev)
+	*ev = Event{}
+	e.free.Put(ev)
+}
+
+// push stamps the next seq onto the event and hands it to the scheduler.
+func (e *Engine) push(ev *Event) {
+	ev.seq = e.seq
+	e.seq++
+	ev.pending = true
+	e.sched.Push(ev)
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
@@ -160,9 +214,8 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
-	ev.at, ev.seq, ev.fn = t, e.seq, fn
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev.at, ev.fn = t, fn
+	e.push(ev)
 	return ev
 }
 
@@ -183,9 +236,8 @@ func (e *Engine) AtCall(t Time, h Handler, arg any) *Event {
 		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
-	ev.at, ev.seq, ev.h, ev.arg = t, e.seq, h, arg
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev.at, ev.h, ev.arg = t, h, arg
+	e.push(ev)
 	return ev
 }
 
@@ -198,30 +250,65 @@ func (e *Engine) AfterCall(d Time, h Handler, arg any) *Event {
 	return e.AtCall(e.now+d, h, arg)
 }
 
+// ContinueCall schedules h.OnEvent(arg) d nanoseconds after the current
+// time by re-arming the event object that is currently firing — the
+// batched form for deterministic per-packet chains (a port's
+// serialize→propagate→deliver hops, a pacer or session pump rescheduling
+// itself). The chain then rides a single Event end to end: each hop is one
+// scheduler push, with no recycle/alloc round trip between hops.
+//
+// Tie-order semantics are exactly those of AfterCall at the same program
+// point — the seq is assigned at the moment of the call — so replacing an
+// AfterCall inside a callback with ContinueCall cannot change any event
+// ordering, only the object that backs it. At most one ContinueCall can
+// claim the firing event; later schedules in the same callback, and calls
+// made outside any callback, fall back to the pooled AfterCall path.
+func (e *Engine) ContinueCall(d Time, h Handler, arg any) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	ev := e.firing
+	if ev == nil {
+		return e.AtCall(e.now+d, h, arg)
+	}
+	e.firing = nil
+	ev.at, ev.h, ev.arg = e.now+d, h, arg
+	ev.fn = nil
+	e.push(ev)
+	return ev
+}
+
 // Step executes the single next pending event, advancing the clock to its
 // timestamp. It reports false if the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		ev.index = -1
+	for {
+		ev := e.sched.Pop()
+		if ev == nil {
+			return false
+		}
+		ev.pending = false
 		if ev.cancelled {
 			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.nSteps++
-		// Copy the callback out and recycle before invoking, so schedules
-		// made inside the callback can reuse this slot immediately.
+		// Hold the event as the firing slot while the callback runs: a
+		// ContinueCall inside the callback re-arms it for the chain's next
+		// hop; otherwise it is recycled afterwards.
 		h, arg, fn := ev.h, ev.arg, ev.fn
-		e.recycle(ev)
+		e.firing = ev
 		if h != nil {
 			h.OnEvent(arg)
 		} else {
 			fn()
 		}
+		if e.firing != nil {
+			e.recycle(e.firing)
+			e.firing = nil
+		}
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue is empty.
@@ -251,47 +338,16 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 // peek returns the next non-cancelled event without executing it, discarding
 // any cancelled events encountered on the way.
 func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
+	for {
+		ev := e.sched.Peek()
+		if ev == nil {
+			return nil
+		}
 		if !ev.cancelled {
 			return ev
 		}
-		heap.Pop(&e.queue)
-		ev.index = -1
+		e.sched.Pop()
+		ev.pending = false
 		e.recycle(ev)
 	}
-	return nil
-}
-
-// eventHeap implements heap.Interface ordered by (time, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }

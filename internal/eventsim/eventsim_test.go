@@ -309,36 +309,40 @@ func (h *orderHandler) OnEvent(arg any) { *h.got = append(*h.got, arg.(int)) }
 // Ties at equal times must fire in scheduling order regardless of which
 // form — closure or pre-bound — scheduled them, and regardless of how much
 // the event pool has churned beforehand. This is the fig08 determinism
-// canary at engine level.
+// canary at engine level, run against every Scheduler implementation.
 func TestTieOrderStableAcrossFormsAndChurn(t *testing.T) {
-	e := New()
-	// Churn the pool: schedule, cancel half, run everything.
-	for i := 0; i < 500; i++ {
-		ev := e.After(Time(i%7), func() {})
-		if i%2 == 0 {
-			ev.Cancel()
-		}
-	}
-	e.Run()
-	base := e.Now()
-	var got []int
-	oh := &orderHandler{got: &got}
-	for i := 0; i < 100; i++ {
-		i := i
-		if i%3 == 0 {
-			e.AtCall(base+42, oh, i)
-		} else {
-			e.At(base+42, func() { got = append(got, i) })
-		}
-	}
-	e.Run()
-	if len(got) != 100 {
-		t.Fatalf("executed %d events, want 100", len(got))
-	}
-	for i, v := range got {
-		if v != i {
-			t.Fatalf("same-time events not FIFO after churn: got[%d] = %d", i, v)
-		}
+	for name, mk := range schedulers {
+		t.Run(name, func(t *testing.T) {
+			e := NewWith(mk())
+			// Churn the pool: schedule, cancel half, run everything.
+			for i := 0; i < 500; i++ {
+				ev := e.After(Time(i%7), func() {})
+				if i%2 == 0 {
+					ev.Cancel()
+				}
+			}
+			e.Run()
+			base := e.Now()
+			var got []int
+			oh := &orderHandler{got: &got}
+			for i := 0; i < 100; i++ {
+				i := i
+				if i%3 == 0 {
+					e.AtCall(base+42, oh, i)
+				} else {
+					e.At(base+42, func() { got = append(got, i) })
+				}
+			}
+			e.Run()
+			if len(got) != 100 {
+				t.Fatalf("executed %d events, want 100", len(got))
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("same-time events not FIFO after churn: got[%d] = %d", i, v)
+				}
+			}
+		})
 	}
 }
 
@@ -363,7 +367,7 @@ func TestPoolRecycleAfterCancel(t *testing.T) {
 	}
 	// The cancelled slot has drained: a new schedule must reuse a pooled
 	// object (white-box: the free list is non-empty) and fire normally.
-	if len(e.free) == 0 {
+	if e.free.Len() == 0 {
 		t.Fatal("free list empty after cancelled event drained")
 	}
 	ev2 := e.At(30, func() { ran++ })

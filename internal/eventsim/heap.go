@@ -1,0 +1,75 @@
+package eventsim
+
+// heapSched is the binary-heap Scheduler: the straightforward O(log n)
+// implementation that served as the engine's only queue before the timing
+// wheel landed. It is retained as the differential-testing oracle — its
+// ordering is a direct transcription of Event.before, so the property tests
+// compare the wheel's fire sequences against it — and as the fallback for
+// workloads whose timestamps are too sparse for the wheel to pay off.
+type heapSched struct {
+	evs []*Event
+}
+
+// NewHeapScheduler returns the binary-heap pending-event store.
+func NewHeapScheduler() Scheduler { return &heapSched{} }
+
+func (h *heapSched) Len() int { return len(h.evs) }
+
+func (h *heapSched) Peek() *Event {
+	if len(h.evs) == 0 {
+		return nil
+	}
+	return h.evs[0]
+}
+
+func (h *heapSched) Push(ev *Event) {
+	h.evs = append(h.evs, ev)
+	h.up(len(h.evs) - 1)
+}
+
+func (h *heapSched) Pop() *Event {
+	n := len(h.evs)
+	if n == 0 {
+		return nil
+	}
+	ev := h.evs[0]
+	h.evs[0] = h.evs[n-1]
+	h.evs[n-1] = nil
+	h.evs = h.evs[:n-1]
+	if len(h.evs) > 0 {
+		h.down(0)
+	}
+	return ev
+}
+
+// up and down are the classic sift operations, specialized to []*Event to
+// avoid container/heap's interface dispatch on every comparison.
+func (h *heapSched) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.evs[i].before(h.evs[parent]) {
+			break
+		}
+		h.evs[i], h.evs[parent] = h.evs[parent], h.evs[i]
+		i = parent
+	}
+}
+
+func (h *heapSched) down(i int) {
+	n := len(h.evs)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.evs[r].before(h.evs[l]) {
+			m = r
+		}
+		if !h.evs[m].before(h.evs[i]) {
+			break
+		}
+		h.evs[i], h.evs[m] = h.evs[m], h.evs[i]
+		i = m
+	}
+}

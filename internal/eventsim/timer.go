@@ -3,15 +3,34 @@ package eventsim
 // Timer is a restartable one-shot timer bound to an engine. Unlike raw
 // events, a Timer can be re-armed repeatedly without allocating, which suits
 // per-flow retransmission timeouts that are usually cancelled before firing.
+//
+// A Timer carries either a closure (NewTimer) or a pre-bound Handler + arg
+// (BindCall). The latter exists for timers embedded by value in pooled
+// structs — an NDP flow's RTO, for example — where a closure would allocate
+// once per pool miss and capture state that outlives the flow; binding the
+// owning struct as the handler keeps the whole flow object reusable.
 type Timer struct {
 	eng     *Engine
 	fn      func()
+	h       Handler // pre-bound form; takes precedence over fn
+	arg     any
 	pending *Event
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it fires.
 func NewTimer(eng *Engine, fn func()) *Timer {
 	return &Timer{eng: eng, fn: fn}
+}
+
+// BindCall initializes (or rebinds) the timer in place to invoke
+// h.OnEvent(arg) when it fires — the closure-free counterpart of NewTimer,
+// for timers embedded by value in pooled structs. The timer must not be
+// armed when rebound.
+func (t *Timer) BindCall(eng *Engine, h Handler, arg any) {
+	t.eng = eng
+	t.fn = nil
+	t.h, t.arg = h, arg
+	t.pending = nil
 }
 
 // Arm (re)schedules the timer to fire d after now, replacing any pending
@@ -54,5 +73,9 @@ func (t *Timer) Deadline() Time {
 // OnEvent implements Handler; the timer is its own pre-bound callback.
 func (t *Timer) OnEvent(any) {
 	t.pending = nil
+	if t.h != nil {
+		t.h.OnEvent(t.arg)
+		return
+	}
 	t.fn()
 }

@@ -1,0 +1,52 @@
+package freelist
+
+import "testing"
+
+type obj struct{ n int }
+
+func TestPoolLIFO(t *testing.T) {
+	var p Pool[obj]
+	if p.Get() != nil {
+		t.Fatal("Get on empty pool should return nil")
+	}
+	a, b := &obj{1}, &obj{2}
+	p.Put(a)
+	p.Put(b)
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	if got := p.Get(); got != b {
+		t.Fatalf("Get = %v, want last Put (%v)", got, b)
+	}
+	if got := p.Get(); got != a {
+		t.Fatalf("Get = %v, want first Put (%v)", got, a)
+	}
+	if p.Get() != nil || p.Len() != 0 {
+		t.Fatal("pool not empty after draining")
+	}
+}
+
+// The pool itself must not allocate in steady state: Put/Get cycles reuse
+// the backing slice once it has grown.
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	var p Pool[obj]
+	objs := make([]*obj, 64)
+	for i := range objs {
+		objs[i] = &obj{i}
+		p.Put(objs[i])
+	}
+	for range objs {
+		p.Get()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for _, o := range objs {
+			p.Put(o)
+		}
+		for range objs {
+			p.Get()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Put/Get allocates %.1f/op, want 0", avg)
+	}
+}

@@ -85,15 +85,15 @@ func CalleeMethod(info *types.Info, call *ast.CallExpr) (fn *types.Func, pkgBase
 }
 
 // IsEngineSchedule reports whether call invokes one of the eventsim
-// engine's scheduling methods (At, After, AtCall, AfterCall), returning
-// the method name.
+// engine's scheduling methods (At, After, AtCall, AfterCall,
+// ContinueCall), returning the method name.
 func IsEngineSchedule(info *types.Info, call *ast.CallExpr) (name string, ok bool) {
 	fn, base, ok := CalleeMethod(info, call)
 	if !ok || base != "eventsim" {
 		return "", false
 	}
 	switch fn.Name() {
-	case "At", "After", "AtCall", "AfterCall":
+	case "At", "After", "AtCall", "AfterCall", "ContinueCall":
 		return fn.Name(), true
 	}
 	return "", false

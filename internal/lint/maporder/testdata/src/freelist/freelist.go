@@ -1,0 +1,11 @@
+// Package freelist is a determinism-critical package base: pool reuse
+// order decides which struct a flow gets, so anything feeding a pool
+// from a map iteration is order-sensitive.
+package freelist
+
+func drain(pools map[int]*[]int, spill []int) []int {
+	for _, p := range pools { // want `map iteration order is randomized but this loop appends to a slice in iteration order`
+		spill = append(spill, (*p)...)
+	}
+	return spill
+}

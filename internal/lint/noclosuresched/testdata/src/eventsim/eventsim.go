@@ -11,7 +11,8 @@ type Handler interface{ OnEvent(arg any) }
 
 type Engine struct{}
 
-func (e *Engine) At(t Time, fn func()) *Event                 { return nil }
-func (e *Engine) After(d Time, fn func()) *Event              { return nil }
-func (e *Engine) AtCall(t Time, h Handler, arg any) *Event    { return nil }
-func (e *Engine) AfterCall(d Time, h Handler, arg any) *Event { return nil }
+func (e *Engine) At(t Time, fn func()) *Event                    { return nil }
+func (e *Engine) After(d Time, fn func()) *Event                 { return nil }
+func (e *Engine) AtCall(t Time, h Handler, arg any) *Event       { return nil }
+func (e *Engine) AfterCall(d Time, h Handler, arg any) *Event    { return nil }
+func (e *Engine) ContinueCall(d Time, h Handler, arg any) *Event { return nil }

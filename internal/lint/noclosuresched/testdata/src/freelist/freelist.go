@@ -1,0 +1,10 @@
+// Package freelist is a hot-path package base: its pools back per-event
+// and per-flow state, so closure scheduling here allocates on the same
+// critical path the pools exist to keep allocation-free.
+package freelist
+
+import "eventsim"
+
+func warm(eng *eventsim.Engine) {
+	eng.After(5, func() {}) // want `closure literal scheduled via Engine\.After allocates per event`
+}

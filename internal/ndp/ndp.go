@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/freelist"
 	"github.com/opera-net/opera/internal/sim"
 )
 
@@ -43,8 +44,12 @@ type Endpoint struct {
 
 	// PULL pacing: one pull per MTU serialization time, round-robin across
 	// flows with credits. paceH is the pre-bound pacer tick
-	// (eventsim.Handler), so per-pull scheduling allocates nothing.
+	// (eventsim.Handler), so per-pull scheduling allocates nothing. The
+	// credit queue is consumed via pullHead (not by re-slicing) so its
+	// backing array's capacity is reused instead of leaking one slot per
+	// pull.
 	pullCredits []int64 // flow IDs, one entry per credit
+	pullHead    int
 	pacing      bool
 	paceH       pacerTick
 
@@ -55,6 +60,36 @@ type Endpoint struct {
 	// Fallback handler for packets that are not NDP's (e.g. RotorLB bulk
 	// sharing the host).
 	next func(*sim.Packet)
+
+	// pools is the fabric-wide flow-state free list, shared by every
+	// endpoint of one Attach call (they all run on the cluster's single
+	// engine goroutine).
+	pools *flowPools
+}
+
+// flowPools recycles sendFlow/recvFlow structs — and, through them, their
+// ACK/got bitmaps and rtx slices — across flows. Under streaming retention
+// (RetainSketch) completed flows release their state immediately, so
+// without pooling a flow-churn-heavy soak allocates and frees one of each
+// per flow forever; with pooling the steady state is allocation-free.
+// Under RetainAll nothing is ever released, so the pools stay empty and
+// behavior is unchanged.
+type flowPools struct {
+	send freelist.Pool[sendFlow]
+	recv freelist.Pool[recvFlow]
+}
+
+// resetBits returns a zeroed bitmap of the given word count, reusing b's
+// backing array when it is large enough.
+func resetBits(b []uint64, words int32) []uint64 {
+	if cap(b) < int(words) {
+		return make([]uint64, words)
+	}
+	b = b[:words]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
 }
 
 // Attach installs NDP endpoints on every host, chaining to any existing
@@ -63,6 +98,7 @@ type Endpoint struct {
 // endpoint per host, indexed by host ID.
 func Attach(hosts []*sim.Host, metrics *sim.Metrics, params Params, registry map[int64]*sim.Flow) []*Endpoint {
 	eps := make([]*Endpoint, len(hosts))
+	pools := &flowPools{}
 	for i, h := range hosts {
 		ep := &Endpoint{
 			host:      h,
@@ -72,6 +108,7 @@ func Attach(hosts []*sim.Host, metrics *sim.Metrics, params Params, registry map
 			recvFlows: make(map[int64]*recvFlow),
 			registry:  registry,
 			next:      h.Handler,
+			pools:     pools,
 		}
 		ep.paceH.ep = ep
 		h.Handler = ep.handle
@@ -83,16 +120,25 @@ func Attach(hosts []*sim.Host, metrics *sim.Metrics, params Params, registry map
 // Host returns the endpoint's host.
 func (ep *Endpoint) Host() *sim.Host { return ep.host }
 
+// sendFlow is pooled sender state: flows draw it from the fabric's free
+// list and, under streaming retention, return it on completion. ep is
+// rebound at acquisition; the embedded rto Timer dispatches to the
+// sendFlow itself (it implements eventsim.Handler), so a recycled flow
+// needs no per-flow closure or Timer allocation.
 type sendFlow struct {
+	ep      *Endpoint
 	f       *sim.Flow
 	total   int32 // packets
 	nextNew int32
 	rtx     []int32 // NACKed sequence numbers awaiting retransmission
 	acked   []uint64
 	nAcked  int32
-	rto     *eventsim.Timer
+	rto     eventsim.Timer
 	done    bool
 }
+
+// OnEvent implements eventsim.Handler: the flow's RTO fired.
+func (sf *sendFlow) OnEvent(any) { sf.ep.onRTO(sf) }
 
 type recvFlow struct {
 	f     *sim.Flow
@@ -112,12 +158,18 @@ func (ep *Endpoint) StartFlow(f *sim.Flow) {
 	if total == 0 {
 		total = 1
 	}
-	sf := &sendFlow{
+	sf := ep.pools.send.Get()
+	if sf == nil {
+		sf = &sendFlow{}
+	}
+	*sf = sendFlow{
+		ep:    ep,
 		f:     f,
 		total: total,
-		acked: make([]uint64, (total+63)/64),
+		rtx:   sf.rtx[:0],
+		acked: resetBits(sf.acked, (total+63)/64),
 	}
-	sf.rto = eventsim.NewTimer(ep.host.Engine(), func() { ep.onRTO(sf) })
+	sf.rto.BindCall(ep.host.Engine(), sf, nil)
 	ep.sendFlows[f.ID] = sf
 	f.Start = ep.host.Engine().Now()
 
@@ -190,10 +242,28 @@ func (ep *Endpoint) recvState(p *sim.Packet) *recvFlow {
 		if total == 0 {
 			total = 1
 		}
-		rf = &recvFlow{f: f, total: total, got: make([]uint64, (total+63)/64)}
+		rf = ep.pools.recv.Get()
+		if rf == nil {
+			rf = &recvFlow{}
+		}
+		*rf = recvFlow{f: f, total: total, got: resetBits(rf.got, (total+63)/64)}
 		ep.recvFlows[p.FlowID] = rf
 	}
 	return rf
+}
+
+// releaseSend returns completed sender state to the fabric pool. The RTO is
+// stopped (idempotently) before the struct can back another flow: a live
+// timer would otherwise fire into the wrong flow's state.
+func (ep *Endpoint) releaseSend(sf *sendFlow) {
+	sf.rto.Stop()
+	sf.f = nil
+	ep.pools.send.Put(sf)
+}
+
+func (ep *Endpoint) releaseRecv(rf *recvFlow) {
+	rf.f = nil
+	ep.pools.recv.Put(rf)
 }
 
 // onData handles arrival of a data packet (full or trimmed) at the
@@ -236,8 +306,10 @@ func (ep *Endpoint) onData(p *sim.Packet) {
 	} else if ep.metrics.Streaming() {
 		// Streaming retention: the flow's statistics were absorbed at
 		// FlowDone above, so drop the receiver state (bitmap, flow ref) —
-		// the per-flow memory that would otherwise accumulate forever.
+		// the per-flow memory that would otherwise accumulate forever —
+		// and recycle it through the fabric pool.
 		delete(ep.recvFlows, p.FlowID)
+		ep.releaseRecv(rf)
 	}
 	p.Release()
 }
@@ -256,8 +328,10 @@ func (ep *Endpoint) onAck(p *sim.Packet) {
 			if ep.metrics.Streaming() {
 				// Fully acknowledged and timer stopped: nothing can need
 				// this sender state again, so release it (streaming
-				// retention keeps per-flow memory O(active flows)).
+				// retention keeps per-flow memory O(active flows)) and
+				// recycle it through the fabric pool.
 				delete(ep.sendFlows, p.FlowID)
+				ep.releaseSend(sf)
 			}
 		} else {
 			sf.rto.Arm(ep.params.RTO)
@@ -331,19 +405,28 @@ func (ep *Endpoint) sendCtrlTo(kind sim.Kind, flowID int64, srcHost, srcRack, ds
 
 // addPullCredit enqueues one pull credit for the flow and kicks the pacer.
 func (ep *Endpoint) addPullCredit(flowID int64) {
+	if len(ep.pullCredits) == cap(ep.pullCredits) && ep.pullHead > 0 {
+		// Reclaim the consumed prefix instead of growing.
+		n := copy(ep.pullCredits, ep.pullCredits[ep.pullHead:])
+		ep.pullCredits = ep.pullCredits[:n]
+		ep.pullHead = 0
+	}
 	ep.pullCredits = append(ep.pullCredits, flowID)
 	ep.pace()
 }
 
 // pace emits pulls one MTU-time apart while credits remain.
 func (ep *Endpoint) pace() {
-	if ep.pacing || len(ep.pullCredits) == 0 {
+	if ep.pacing || ep.pullHead == len(ep.pullCredits) {
 		return
 	}
 	ep.pacing = true
 	cfg := ep.host.Config()
 	spacing := cfg.SerializationDelay(cfg.MTU)
-	ep.host.Engine().AfterCall(spacing, &ep.paceH, nil)
+	// ContinueCall: a pacer tick that re-arms itself (or a delivery that
+	// granted the first credit) hands its just-fired event straight to the
+	// next tick.
+	ep.host.Engine().ContinueCall(spacing, &ep.paceH, nil)
 }
 
 // pacerTick is the endpoint's pre-bound pacer callback: issue the next pull
@@ -353,11 +436,15 @@ type pacerTick struct{ ep *Endpoint }
 func (h *pacerTick) OnEvent(any) {
 	ep := h.ep
 	ep.pacing = false
-	if len(ep.pullCredits) == 0 {
+	if ep.pullHead == len(ep.pullCredits) {
 		return
 	}
-	id := ep.pullCredits[0]
-	ep.pullCredits = ep.pullCredits[1:]
+	id := ep.pullCredits[ep.pullHead]
+	ep.pullHead++
+	if ep.pullHead == len(ep.pullCredits) {
+		ep.pullCredits = ep.pullCredits[:0]
+		ep.pullHead = 0
+	}
 	if rf := ep.recvFlows[id]; rf != nil && !rf.complete() {
 		ep.sendCtrl(sim.KindPull, rf.f, 0, 0)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/opera-net/opera/internal/eventsim"
 	"github.com/opera-net/opera/internal/sim"
+	"github.com/opera-net/opera/internal/telemetry"
 )
 
 // miniSwitch is a single-output bottleneck: every packet goes out one port
@@ -172,5 +173,133 @@ func TestBulkClassFlowOverNDP(t *testing.T) {
 	r.eng.RunUntil(10 * eventsim.Millisecond)
 	if !f.Done {
 		t.Fatal("bulk-class NDP flow incomplete")
+	}
+}
+
+// streamingRig is newRig under RetainSketch with the registry release hook
+// the cluster installs: completed flows drop their registry entry, so
+// NDP's straggler re-ACK path (recvState == nil) becomes reachable.
+func streamingRig(t *testing.T, n int, cfg sim.Config) *rig {
+	t.Helper()
+	r := newRig(t, n, cfg)
+	r.metrics.SetRetention(sim.RetainSketch(telemetry.Opts{}))
+	r.metrics.ReleaseHook(func(f *sim.Flow) { delete(r.registry, f.ID) })
+	return r
+}
+
+// TestAllocsFlowChurn is the flow-state pooling gate (CI fast lane runs it
+// via -run 'TestAllocs'): one NDP flow setup/teardown round trip under
+// streaming retention must cost at most 2 allocations — the *sim.Flow
+// itself plus slack — because sendFlow, recvFlow, both bitmaps, the RTO
+// timer and every event come from pools.
+func TestAllocsFlowChurn(t *testing.T) {
+	r := streamingRig(t, 2, sim.DefaultConfig())
+	id := int64(0)
+	// One full revolution of the engine's timing wheel (1024 buckets of
+	// 1024 ns). Rounds are aligned to it so each round maps onto the same
+	// wheel buckets at the same phase; otherwise phase drift between
+	// rounds keeps discovering new per-bucket high-water marks and the
+	// wheel's (amortized, bounded) capacity warmup never settles within
+	// the measurement window. The gate targets flow-state pooling, not
+	// bucket warmup.
+	const wheelPeriod = eventsim.Time(1) << 20
+	round := func() {
+		id++
+		f := r.flow(id, 0, 1, 6000) // 4 packets: inside the initial window
+		r.eps[0].StartFlow(f)
+		r.eng.Run()
+		if !f.Done {
+			t.Fatalf("flow %d incomplete", id)
+		}
+		r.eng.RunUntil((r.eng.Now()/wheelPeriod + 1) * wheelPeriod)
+	}
+	// Warm the pools, map buckets, telemetry bins and wheel buckets.
+	for i := 0; i < 64; i++ {
+		round()
+	}
+	avg := testing.AllocsPerRun(100, round)
+	if avg > 2 {
+		t.Fatalf("flow churn allocates %.1f/round-trip, want <= 2", avg)
+	}
+}
+
+// A released recvFlow recycled into a different flow must serve that flow
+// correctly, and a straggler data packet of the released flow must still
+// get its re-ACK (from the packet's own header) without touching the
+// recycled state.
+func TestStragglerReACKWithPooledRecvFlow(t *testing.T) {
+	r := streamingRig(t, 2, sim.DefaultConfig())
+	fA := r.flow(1, 0, 1, 6000)
+	r.eps[0].StartFlow(fA)
+	r.eng.Run()
+	if !fA.Done {
+		t.Fatal("flow A incomplete")
+	}
+	ep1 := r.eps[1]
+	if len(ep1.recvFlows) != 0 || r.registry[1] != nil {
+		t.Fatal("streaming retention did not release flow A's receiver state")
+	}
+	// The released recvFlow is in the pool; flow B must draw it back out.
+	pooled := ep1.pools.recv.Get()
+	if pooled == nil {
+		t.Fatal("flow A's recvFlow was not pooled")
+	}
+	ep1.pools.recv.Put(pooled)
+
+	fB := r.flow(2, 0, 1, 30000) // 20 packets: still in flight below
+	r.eps[0].StartFlow(fB)
+	r.eng.RunUntil(r.eng.Now() + 5*eventsim.Microsecond)
+	if got := ep1.recvFlows[2]; got != pooled {
+		t.Fatalf("flow B's recvFlow = %p, want the pooled object %p", got, pooled)
+	}
+
+	// Straggler: a duplicate data packet of released flow A arrives while B
+	// is in flight. The receiver must re-ACK it from header state alone.
+	p := sim.NewPacket()
+	p.Kind = sim.KindData
+	p.Class = sim.ClassLowLatency
+	p.SrcHost, p.DstHost = 0, 1
+	p.Size, p.PayloadSize = 1500, 1500
+	p.FlowID = 1
+	p.Seq = 2
+	ep1.handle(p)
+	r.eng.Run()
+	if !fB.Done || fB.BytesRcvd != fB.Size {
+		t.Fatalf("flow B corrupted by straggler: done=%v rcvd=%d/%d", fB.Done, fB.BytesRcvd, fB.Size)
+	}
+	if len(ep1.recvFlows) != 0 {
+		t.Fatal("flow B's state not released after completion")
+	}
+}
+
+// A sender that lost every ACK of an already-delivered flow (receiver state
+// released and possibly recycled) must converge through the streaming
+// re-ACK path: each retransmitted packet is ACKed from its header, and the
+// sender's state reaches done and returns to the pool.
+func TestStragglerRetransmitConvergesAfterRelease(t *testing.T) {
+	r := streamingRig(t, 2, sim.DefaultConfig())
+	fA := r.flow(1, 0, 1, 6000)
+	r.eps[0].StartFlow(fA)
+	r.eng.Run()
+	if !fA.Done {
+		t.Fatal("flow A incomplete")
+	}
+	ep0 := r.eps[0]
+	if len(ep0.sendFlows) != 0 {
+		t.Fatal("sender state not released after full ACK")
+	}
+	// The sender restarts the whole flow, as if no ACK had ever arrived.
+	// The receiver no longer knows the flow (registry pruned) and must
+	// re-ACK every packet from headers; the sender must converge to done.
+	r.eps[0].StartFlow(fA)
+	if len(ep0.sendFlows) != 1 {
+		t.Fatal("restart did not create sender state")
+	}
+	r.eng.RunUntil(r.eng.Now() + 50*eventsim.Millisecond)
+	if len(ep0.sendFlows) != 0 {
+		t.Fatal("sender did not converge via straggler re-ACKs")
+	}
+	if ep0.pools.send.Len() == 0 {
+		t.Fatal("converged sender state did not return to the pool")
 	}
 }

@@ -198,7 +198,8 @@ func (s *localSender) OnEvent(any) {
 	p := s.a.newBulkPacket(segment{f: s.f, host: s.f.SrcHost, bytes: n}, -1)
 	net.Hosts()[s.f.SrcHost].Send(p)
 	s.sent += n
-	net.Engine().AfterCall(cfg.SerializationDelay(int(n)), s, nil)
+	// ContinueCall: the pump rides its own just-fired event to the next chunk.
+	net.Engine().ContinueCall(cfg.SerializationDelay(int(n)), s, nil)
 }
 
 // session paces one circuit's transmissions across its window. It is its
@@ -265,7 +266,7 @@ func (s *session) pump() {
 		if blocked {
 			wait = txTime
 		}
-		net.Engine().AfterCall(wait, s, nil)
+		net.Engine().ContinueCall(wait, s, nil)
 		return
 	}
 	a.grantTo(seg.host, now, txTime)
@@ -286,7 +287,9 @@ func (s *session) pump() {
 	// Poll the owning host: it enqueues on its NIC now; priority queueing
 	// there lets low-latency traffic jump ahead (§4.2).
 	net.Hosts()[seg.host].Send(p)
-	net.Engine().AfterCall(txTime, s, nil)
+	// ContinueCall: per-packet pump rescheduling reuses the firing event
+	// (or the pooled path when the host's NIC claimed it first).
+	net.Engine().ContinueCall(txTime, s, nil)
 }
 
 // close returns any admitted-but-unsent VLB bytes to their origin queues;

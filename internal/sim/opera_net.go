@@ -190,7 +190,9 @@ func (n *OperaNet) sliceBoundary(S int64) {
 		fn(S)
 	}
 	if !n.stopped {
-		n.eng.AfterCall(dur, &n.tick, nil)
+		// The slice clock rides one Event for the whole run (unless a port
+		// kicked inside this tick claimed the firing object first).
+		n.eng.ContinueCall(dur, &n.tick, nil)
 	}
 }
 

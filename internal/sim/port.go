@@ -385,7 +385,10 @@ func (pt *Port) maybeTransmit() {
 		// nominal rate, so every packet stretches by 1/derate.
 		d = eventsim.Time(float64(d) / pt.derate)
 	}
-	pt.eng.AfterCall(d, &pt.txH, nil)
+	// ContinueCall: when the transmitter is kicked from inside an event
+	// callback (a delivery that enqueued here, a reconfiguration tick), the
+	// tx-done hop rides that event's object instead of a pool round trip.
+	pt.eng.ContinueCall(d, &pt.txH, nil)
 }
 
 // txComplete fires when the in-flight packet's last bit leaves the
@@ -412,7 +415,9 @@ func (pt *Port) txComplete() {
 	dst := pt.resolve(pt.eng.Now())
 	if dst != nil {
 		p.dst = dst
-		pt.eng.AfterCall(pt.prop, &pt.dvH, p)
+		// The propagation hop rides the just-fired tx-done event: one Event
+		// object carries the packet through serialize→propagate→deliver.
+		pt.eng.ContinueCall(pt.prop, &pt.dvH, p)
 	} else {
 		// Link dark (no peer): the photons are lost.
 		if p.Kind == KindBulk {

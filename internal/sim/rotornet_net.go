@@ -241,7 +241,9 @@ func (n *RotorNetSim) slotBoundary(s int64) {
 		fn(s)
 	}
 	if !n.stopped {
-		n.eng.AfterCall(dur, &n.tick, nil)
+		// The slot clock rides one Event for the whole run (unless a port
+		// kicked inside this tick claimed the firing object first).
+		n.eng.ContinueCall(dur, &n.tick, nil)
 	}
 }
 
