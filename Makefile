@@ -20,7 +20,7 @@ short:
 
 ## race: the race-detector passes CI runs
 race:
-	$(GO) test -race ./scenario/ ./internal/workload/ ./internal/sweep/ ./internal/telemetry/
+	$(GO) test -race ./scenario/ ./internal/workload/ ./internal/sweep/ ./internal/telemetry/ ./internal/obs/
 	$(GO) test -race -short -run 'Source' .
 	$(GO) test -race -run 'Fault|Flap|Lossy' ./internal/sim/ ./scenario/
 

@@ -22,16 +22,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	opera "github.com/opera-net/opera"
 	"github.com/opera-net/opera/internal/eventsim"
+	"github.com/opera-net/opera/internal/obs"
 	"github.com/opera-net/opera/internal/sim"
 	"github.com/opera-net/opera/internal/workload"
 	"github.com/opera-net/opera/scenario"
@@ -217,6 +222,10 @@ func main() {
 	retention := flag.String("retention", "all",
 		"metrics retention: all (exact, retains every flow) | sketch (streaming quantile sketches, flat memory for unbounded runs)")
 	sketchAlpha := flag.Float64("sketch-alpha", 0.01, "relative-error bound for -retention sketch")
+	statusAddr := flag.String("status", "", "serve live status on this address (e.g. :8080; empty = off): "+
+		"/status JSON, /status/stream SSE, /debug/vars, /debug/pprof")
+	statusEvery := flag.Duration("status-every", time.Millisecond, "snapshot sampling period in virtual time (with -status)")
+	statusLinger := flag.Duration("status-linger", 0, "keep serving -status this long (wall time) after the run finishes; SIGINT/SIGTERM ends the linger early")
 	flag.Parse()
 
 	events, err := parseFaultSchedule(*failAt)
@@ -331,6 +340,24 @@ func main() {
 		Duration: dur * eventsim.Time(*drain),
 	}
 
+	// Live observability: a Publisher samples the run into a lock-free
+	// mailbox on the engine's meta-event surface (results stay
+	// byte-identical), and an HTTP server exposes the mailbox.
+	var pub *obs.Publisher
+	var statusSrv *http.Server
+	if *statusAddr != "" {
+		box := &obs.Mailbox{}
+		pub = obs.NewPublisher(box, eventsim.Time(statusEvery.Nanoseconds()))
+		sc.Observer = pub
+		srv, bound, err := obs.Serve(*statusAddr, box)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		statusSrv = srv
+		fmt.Fprintf(os.Stderr, "status: serving http://%s/status\n", bound)
+	}
+
 	start := time.Now()
 	_, res := scenario.Collect(sc)
 	wall := time.Since(start)
@@ -384,6 +411,25 @@ func main() {
 			fmt.Printf("  tag %-8s n=%d/%d p50=%.1fµs p99=%.1fµs throughput=%.2f Gb/s\n",
 				t, ts.FlowsDone, ts.FlowsTotal, ts.FCT.P50Us, ts.FCT.P99Us, ts.ThroughputGbps)
 		}
+	}
+
+	if statusSrv != nil {
+		// Publish the final state (the run can end between sampling ticks),
+		// then keep the endpoint up through the linger so dashboards and
+		// smoke tests can read the completed run. A signal ends it early.
+		pub.Finalize()
+		if *statusLinger > 0 {
+			fmt.Fprintf(os.Stderr, "status: lingering %v (SIGINT/SIGTERM to stop)\n", *statusLinger)
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			select {
+			case <-time.After(*statusLinger):
+			case <-sig:
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		statusSrv.Shutdown(ctx)
 	}
 }
 

@@ -26,11 +26,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/opera-net/opera/internal/experiments"
+	"github.com/opera-net/opera/internal/obs"
 	"github.com/opera-net/opera/internal/sweep"
 )
 
@@ -56,6 +58,10 @@ func main() {
 		retries = flag.Int("retries", 2, "re-dispatch rounds for crashed or timed-out shards")
 		timeout = flag.Duration("timeout", 0, "per-shard wall-clock timeout (0 = none)")
 		out     = flag.String("out", "sweep_out", "output directory for CSVs")
+
+		quiet      = flag.Bool("quiet", false, "suppress per-shard progress logging on stderr")
+		statusAddr = flag.String("status", "", "serve live sweep progress on this address (e.g. :8080; empty = off): "+
+			"/status JSON, /status/stream SSE, /debug/vars, /debug/pprof")
 	)
 	flag.Parse()
 
@@ -107,14 +113,40 @@ func main() {
 		fmt.Println(" in-process")
 	}
 
+	// Progress reporting: per-shard logging on stderr (default on) plus,
+	// with -status, the same live HTTP layer opera-sim serves.
+	var sinks []sweep.ProgressSink
+	if !*quiet {
+		sinks = append(sinks, sweep.LogProgress(os.Stderr))
+	}
+	var statusSrv *http.Server
+	if *statusAddr != "" {
+		tracker := obs.NewSweepTracker()
+		sinks = append(sinks, tracker)
+		srv, bound, serveErr := obs.Serve(*statusAddr, tracker)
+		if serveErr != nil {
+			die(serveErr)
+		}
+		statusSrv = srv
+		fmt.Fprintf(os.Stderr, "opera-sweep: serving http://%s/status\n", bound)
+	}
+	var prog sweep.ProgressSink
+	if len(sinks) > 0 {
+		prog = sweep.MultiProgress(sinks...)
+	}
+
 	ctx := context.Background()
 	var rep sweep.Report
 	if *workers > 0 {
 		rep, err = sweep.Run(ctx, specs, sweep.Options{
 			Workers: *workers, Shards: *shards, Retries: *retries, Timeout: *timeout,
+			Progress: prog,
 		})
 	} else {
-		rep, err = sweep.RunLocal(ctx, specs, 0)
+		rep, err = sweep.RunLocalProgress(ctx, specs, 0, prog)
+	}
+	if statusSrv != nil {
+		defer statusSrv.Close()
 	}
 	if err != nil {
 		die(err)

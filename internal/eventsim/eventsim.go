@@ -141,7 +141,19 @@ type Engine struct {
 	now    Time
 	sched  Scheduler
 	seq    uint64
-	nSteps uint64 // total events executed
+	nSteps uint64 // total events executed, meta events included
+
+	// nMetaSteps and metaPending account for meta events (AtMetaCall):
+	// observer bookkeeping that must stay invisible to Len and Steps so
+	// attaching an observer cannot perturb done-detection or reported
+	// effort. They are maintained by the meta scheduling entry points and
+	// MetaStep — not on the Step hot path, which stays branch-free.
+	nMetaSteps  uint64
+	metaPending int
+
+	// nCancelled counts cancelled events drained from the scheduler
+	// (in Step and peek, where the cancellation branch already exists).
+	nCancelled uint64
 
 	// firing is the event whose callback is currently executing. Holding
 	// it (instead of recycling before the callback runs) lets ContinueCall
@@ -173,14 +185,18 @@ func NewWith(s Scheduler) *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Len returns the number of pending (non-cancelled) events. Cancelled events
-// still occupy scheduler slots until their scheduled time, so Len is an
-// upper bound on the number of callbacks that will actually run.
-func (e *Engine) Len() int { return e.sched.Len() }
+// Len returns the number of pending (non-cancelled) simulation events.
+// Cancelled events still occupy scheduler slots until their scheduled time,
+// so Len is an upper bound on the number of callbacks that will actually
+// run. Meta events (AtMetaCall) are excluded: an attached observer must not
+// keep "the queue is non-empty" true on its own, or done-detection loops
+// like Cluster.RunUntilDone would behave differently under observation.
+func (e *Engine) Len() int { return e.sched.Len() - e.metaPending }
 
-// Steps returns the total number of events executed so far. It is useful for
-// reporting simulation effort in benchmarks.
-func (e *Engine) Steps() uint64 { return e.nSteps }
+// Steps returns the total number of simulation events executed so far. It
+// is useful for reporting simulation effort in benchmarks. Meta events are
+// excluded so reported effort is identical with and without an observer.
+func (e *Engine) Steps() uint64 { return e.nSteps - e.nMetaSteps }
 
 // alloc draws an event from the free list, falling back to the heap only
 // when the pool is dry (startup, or a new high-water mark of concurrently
@@ -288,6 +304,7 @@ func (e *Engine) Step() bool {
 		}
 		ev.pending = false
 		if ev.cancelled {
+			e.nCancelled++
 			e.recycle(ev)
 			continue
 		}
@@ -348,6 +365,7 @@ func (e *Engine) peek() *Event {
 		}
 		e.sched.Pop()
 		ev.pending = false
+		e.nCancelled++
 		e.recycle(ev)
 	}
 }

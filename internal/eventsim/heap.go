@@ -15,6 +15,11 @@ func NewHeapScheduler() Scheduler { return &heapSched{} }
 
 func (h *heapSched) Len() int { return len(h.evs) }
 
+// SchedStats implements SchedulerStats. A bare heap has no wheel tier, so
+// every resident counts as overflow — the convention that keeps "wheel vs
+// overflow occupancy" comparable across scheduler choices.
+func (h *heapSched) SchedStats() SchedStats { return SchedStats{Overflow: len(h.evs)} }
+
 func (h *heapSched) Peek() *Event {
 	if len(h.evs) == 0 {
 		return nil

@@ -1,0 +1,127 @@
+package eventsim
+
+import "testing"
+
+// TestStatsPinnedSchedule pins every EngineStats counter across a known
+// schedule: pushes, a cancellation, partial execution, and drain. The
+// exact values are part of the observability contract — a refactor that
+// changes them silently changes what /status reports.
+func TestStatsPinnedSchedule(t *testing.T) {
+	eng := New()
+
+	if st := eng.Stats(); st != (EngineStats{}) {
+		t.Fatalf("fresh engine stats = %+v, want zero", st)
+	}
+
+	noop := func() {}
+	eng.At(1*Microsecond, noop)
+	eng.At(2*Microsecond, noop)
+	ev := eng.At(3*Microsecond, noop)
+	eng.At(2*Millisecond, noop) // beyond the wheel horizon: overflow tier
+
+	st := eng.Stats()
+	if st.Scheduled != 4 || st.Fired != 0 || st.Cancelled != 0 || st.Pending != 4 {
+		t.Fatalf("after 4 pushes: %+v", st)
+	}
+	if st.Sched.Resident != 3 || st.Sched.Buckets != 3 || st.Sched.Overflow != 1 {
+		t.Fatalf("wheel occupancy after 4 pushes: %+v", st.Sched)
+	}
+
+	if !ev.Cancel() {
+		t.Fatal("Cancel returned false on a pending event")
+	}
+	// Cancelled events drain lazily: still Pending until their time comes.
+	if st = eng.Stats(); st.Pending != 4 || st.Cancelled != 0 {
+		t.Fatalf("after cancel, before drain: %+v", st)
+	}
+
+	eng.Step() // fires t=1µs
+	eng.Step() // fires t=2µs
+	eng.Step() // drains the cancelled t=3µs slot, fires t=2ms
+	st = eng.Stats()
+	if st.Fired != 3 || st.Cancelled != 1 || st.Pending != 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+	if st.Sched != (SchedStats{}) {
+		t.Fatalf("occupancy after drain: %+v", st.Sched)
+	}
+	// All four Event objects are back in the free pool.
+	if st.FreePool != 4 {
+		t.Fatalf("free pool = %d, want 4", st.FreePool)
+	}
+	if eng.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// TestStatsHeapScheduler pins the heap scheduler's occupancy convention:
+// everything is overflow.
+func TestStatsHeapScheduler(t *testing.T) {
+	eng := NewWith(NewHeapScheduler())
+	eng.At(5*Microsecond, func() {})
+	eng.At(7*Microsecond, func() {})
+	if st := eng.Stats(); st.Sched != (SchedStats{Overflow: 2}) {
+		t.Fatalf("heap occupancy = %+v, want Overflow: 2", st.Sched)
+	}
+}
+
+// metaSampler is a minimal periodic meta-event handler: it records the
+// times it fires at and re-arms itself until a deadline, following the
+// AtMetaCall contract (MetaStep first, reschedule via ContinueMetaCall).
+type metaSampler struct {
+	eng   *Engine
+	every Time
+	until Time
+	fired []Time
+}
+
+func (m *metaSampler) OnEvent(any) {
+	m.eng.MetaStep()
+	m.fired = append(m.fired, m.eng.Now())
+	if m.eng.Now()+m.every <= m.until {
+		m.eng.ContinueMetaCall(m.every, m, nil)
+	}
+}
+
+// TestMetaEventsInvisible asserts the observer invariant: a periodic meta
+// sampler leaves Len and Steps exactly as an unobserved run would have
+// them, while Stats still accounts for the meta activity separately.
+func TestMetaEventsInvisible(t *testing.T) {
+	run := func(observe bool) (*Engine, *metaSampler) {
+		eng := New()
+		fired := 0
+		for i := Time(1); i <= 10; i++ {
+			eng.At(i*100*Microsecond, func() { fired++ })
+		}
+		var ms *metaSampler
+		if observe {
+			ms = &metaSampler{eng: eng, every: 100 * Microsecond, until: Millisecond}
+			eng.AtMetaCall(50*Microsecond, ms, nil)
+		}
+		eng.RunUntil(Millisecond)
+		if fired != 10 {
+			t.Fatalf("fired %d simulation events, want 10", fired)
+		}
+		return eng, ms
+	}
+
+	plain, _ := run(false)
+	observed, ms := run(true)
+
+	if got, want := len(ms.fired), 10; got != want {
+		t.Fatalf("sampler fired %d times, want %d", got, want)
+	}
+	if plain.Steps() != observed.Steps() {
+		t.Fatalf("Steps diverged: plain %d, observed %d", plain.Steps(), observed.Steps())
+	}
+	if plain.Len() != observed.Len() {
+		t.Fatalf("Len diverged: plain %d, observed %d", plain.Len(), observed.Len())
+	}
+	st := observed.Stats()
+	if st.MetaFired != 10 {
+		t.Fatalf("MetaFired = %d, want 10", st.MetaFired)
+	}
+	if st.Fired != plain.Stats().Fired {
+		t.Fatalf("Fired diverged under observation: %d vs %d", st.Fired, plain.Stats().Fired)
+	}
+}

@@ -99,6 +99,16 @@ func NewWheelScheduler() Scheduler { return &wheelSched{} }
 
 func (w *wheelSched) Len() int { return w.count + w.overflow.Len() }
 
+// SchedStats implements SchedulerStats: wheel residents, occupied buckets
+// (the occupancy bitmap's popcount), and the overflow heap's length.
+func (w *wheelSched) SchedStats() SchedStats {
+	buckets := 0
+	for _, word := range w.occ {
+		buckets += bits.OnesCount64(word)
+	}
+	return SchedStats{Resident: w.count, Buckets: buckets, Overflow: w.overflow.Len()}
+}
+
 func (w *wheelSched) Push(ev *Event) {
 	abs := int64(ev.at) >> wheelShift
 	if abs < w.cur {

@@ -30,7 +30,7 @@ import (
 
 // orderedPackages are the import-path bases whose outputs must be
 // byte-identical across runs.
-var orderedPackages = []string{"sim", "telemetry", "sweep", "scenario", "freelist"}
+var orderedPackages = []string{"sim", "telemetry", "sweep", "scenario", "freelist", "obs"}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "maporder",

@@ -8,5 +8,5 @@ import (
 )
 
 func TestMapOrder(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "sim", "unordered", "freelist")
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer, "sim", "unordered", "freelist", "obs")
 }

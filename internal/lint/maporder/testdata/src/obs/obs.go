@@ -1,0 +1,22 @@
+// Package obs is a determinism-critical package base: snapshots are
+// compared across observed and unobserved runs, so any map-ordered slice
+// in one would diverge between processes.
+package obs
+
+type tally struct{ done int }
+
+func snapshotTags(tags map[string]*tally, out []int) []int {
+	for _, t := range tags { // want `map iteration order is randomized but this loop appends to a slice in iteration order`
+		out = append(out, t.done)
+	}
+	return out
+}
+
+// collectKeys is the sanctioned key-collect idiom: gather, sort later.
+func collectKeys(tags map[string]*tally) []string {
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestNoClosureSched(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), noclosuresched.Analyzer, "sim", "coldcode", "freelist")
+	analysistest.Run(t, analysistest.TestData(), noclosuresched.Analyzer, "sim", "coldcode", "freelist", "obs")
 }

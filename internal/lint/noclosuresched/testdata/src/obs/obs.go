@@ -1,0 +1,19 @@
+// Package obs is a hot-path package base: observers schedule their
+// sampling on the engine's meta-event surface, and a closure literal
+// there would allocate once per sample for the whole run.
+package obs
+
+import "eventsim"
+
+type publisher struct{ eng *eventsim.Engine }
+
+func (p *publisher) OnEvent(arg any) {}
+
+func (p *publisher) attach(at eventsim.Time) {
+	p.eng.After(at, func() {}) // want `closure literal scheduled via Engine\.After allocates per event`
+}
+
+// rearm uses the pre-bound Handler form — allocation-free and unflagged.
+func (p *publisher) rearm(at eventsim.Time) {
+	p.eng.AtCall(at, p, nil)
+}

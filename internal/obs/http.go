@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// streamPoll is how often /status/stream checks the Source for a new
+// sequence number. Wall-clock, serving-side only — the simulation never
+// sees it.
+const streamPoll = 200 * time.Millisecond
+
+// srcBox wraps a Source behind one concrete type so the expvar hook can
+// swap sources atomically (atomic.Pointer needs a single concrete type;
+// Mailbox and SweepTracker differ).
+type srcBox struct{ src Source }
+
+var (
+	expvarOnce sync.Once
+	expvarSrc  atomic.Pointer[srcBox]
+)
+
+// publishExpvar registers the "opera_status" expvar exactly once per
+// process (expvar.Publish panics on duplicates) and points it at src.
+// Later muxes retarget the existing var.
+func publishExpvar(src Source) {
+	expvarSrc.Store(&srcBox{src: src})
+	expvarOnce.Do(func() {
+		expvar.Publish("opera_status", expvar.Func(func() any {
+			if box := expvarSrc.Load(); box != nil {
+				data, _ := box.src.StatusSnapshot()
+				return data
+			}
+			return nil
+		}))
+	})
+}
+
+// NewMux builds the status mux for src:
+//
+//	/status          latest status as JSON (503 until the first publish)
+//	/status/stream   server-sent events, one JSON payload per seq change
+//	/debug/vars      expvar (includes opera_status)
+//	/debug/pprof/    the standard pprof handlers
+//
+// pprof and expvar are mounted explicitly rather than via their package
+// init side effects on http.DefaultServeMux, so embedding programs keep
+// control over what is exposed.
+func NewMux(src Source) *http.ServeMux {
+	publishExpvar(src)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		data, _ := src.StatusSnapshot()
+		if data == nil {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(data)
+	})
+	mux.HandleFunc("/status/stream", func(w http.ResponseWriter, r *http.Request) {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+
+		ticker := time.NewTicker(streamPoll)
+		defer ticker.Stop()
+		var last uint64
+		for {
+			data, seq := src.StatusSnapshot()
+			if data != nil && seq != last {
+				last = seq
+				payload, err := json.Marshal(data)
+				if err != nil {
+					return
+				}
+				fmt.Fprintf(w, "data: %s\n\n", payload)
+				flusher.Flush()
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-ticker.C:
+			}
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves NewMux(src) on a
+// background goroutine. The returned addr is the bound address; shut the
+// server down with srv.Shutdown or srv.Close.
+func Serve(addr string, src Source) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewMux(src)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

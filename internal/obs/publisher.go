@@ -1,0 +1,73 @@
+package obs
+
+import (
+	opera "github.com/opera-net/opera"
+	"github.com/opera-net/opera/internal/eventsim"
+)
+
+// Publisher samples a running cluster into a Mailbox on a fixed virtual-
+// time period. It implements scenario.Observer: Attach publishes an
+// immediate snapshot (so /status serves before the first tick) and
+// schedules the sampling chain as ONE pooled meta event that re-arms
+// itself via ContinueMetaCall — zero allocations per sample beyond the
+// immutable Snapshot itself, and zero perturbation of the simulation
+// (meta events are excluded from Engine.Len and Steps, and capture is
+// read-only).
+type Publisher struct {
+	box   *Mailbox
+	every eventsim.Time
+
+	cl    *opera.Cluster
+	eng   *eventsim.Engine
+	until eventsim.Time
+	seq   uint64
+}
+
+// DefaultPeriod is the sampling period when NewPublisher gets every <= 0:
+// 1 ms of virtual time, matching the telemetry windows' default bin.
+const DefaultPeriod = eventsim.Millisecond
+
+// NewPublisher returns a publisher sampling into box every period of
+// virtual time.
+func NewPublisher(box *Mailbox, every eventsim.Time) *Publisher {
+	if every <= 0 {
+		every = DefaultPeriod
+	}
+	return &Publisher{box: box, every: every}
+}
+
+// Attach implements scenario.Observer.
+func (p *Publisher) Attach(cl *opera.Cluster, deadline eventsim.Time) {
+	p.cl = cl
+	p.eng = cl.Engine()
+	p.until = deadline
+	p.publish()
+	p.eng.AtMetaCall(p.eng.Now()+p.every, p, nil)
+}
+
+// OnEvent implements eventsim.Handler: one sampling tick. Per the
+// AtMetaCall contract, MetaStep runs first and rescheduling goes through
+// ContinueMetaCall, riding the same pooled event for the whole run.
+func (p *Publisher) OnEvent(any) {
+	p.eng.MetaStep()
+	p.publish()
+	if p.eng.Now() < p.until {
+		p.eng.ContinueMetaCall(p.every, p, nil)
+	}
+}
+
+// Finalize publishes one last snapshot after the run has returned, so a
+// lingering status endpoint serves the completed state (RunUntilDone may
+// end between ticks). Harmless if the publisher was never attached.
+func (p *Publisher) Finalize() {
+	if p.cl != nil {
+		p.publish()
+	}
+}
+
+func (p *Publisher) publish() {
+	p.seq++
+	s := Capture(p.cl)
+	s.Seq = p.seq
+	p.box.Publish(s)
+}

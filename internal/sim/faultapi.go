@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/opera-net/opera/internal/eventsim"
 )
@@ -289,6 +290,13 @@ type faultCore struct {
 	// engine callbacks touch it, so no locking is needed.
 	flapGen map[Target]uint64
 
+	// active tracks the fault currently applied to each target,
+	// maintained at fire time by faultOp.OnEvent (latest fault wins per
+	// target; Recover deletes) so it reflects what the fabric actually
+	// sees, not what has merely been scheduled. Only engine callbacks
+	// touch it. Read through ActiveFaults.
+	active map[Target]Fault
+
 	// strandedProbe, when wired (Cluster.Faults does it for circuit
 	// fabrics), reports RotorLB VLB bytes stranded at relays whose
 	// second leg is unreachable. See StrandedBytes.
@@ -300,6 +308,7 @@ func (fc *faultCore) init(eng *eventsim.Engine, seed int64, ops fabricFaultOps) 
 	fc.seed = seed
 	fc.ops = ops
 	fc.flapGen = make(map[Target]uint64)
+	fc.active = make(map[Target]Fault)
 }
 
 func (fc *faultCore) bumpGen(t Target) uint64 {
@@ -360,15 +369,18 @@ func (op *faultOp) OnEvent(any) {
 				pt.SetRateDerating(op.f.RateFraction)
 			}
 		}
+		fc.active[op.t] = op.f
 	case opDown:
 		fc.bumpGen(op.t) // an explicit cut overrides an active flap
 		fc.ops.setDown(op.t, true)
+		fc.active[op.t] = op.f
 	case opFlapStart:
 		// The generation is claimed at fire time, not at Inject time, so
 		// an earlier-scheduled fault on the same target stays overridden.
 		op.kind = opFlapStep
 		op.gen = fc.bumpGen(op.t)
 		op.down = true
+		fc.active[op.t] = op.f
 		op.flapStep()
 	case opFlapStep:
 		op.flapStep()
@@ -380,6 +392,7 @@ func (op *faultOp) OnEvent(any) {
 			}
 		}
 		fc.ops.setDown(op.t, false)
+		delete(fc.active, op.t)
 	}
 }
 
@@ -423,7 +436,7 @@ func (fc *faultCore) inject(t Target, f Fault, at eventsim.Time) error {
 	}
 	switch f.Kind {
 	case FaultDown:
-		fc.eng.AtCall(at, &faultOp{fc: fc, kind: opDown, t: t}, nil)
+		fc.eng.AtCall(at, &faultOp{fc: fc, kind: opDown, t: t, f: f}, nil)
 	case FaultFlapping:
 		fc.eng.AtCall(at, &faultOp{fc: fc, kind: opFlapStart, t: t, f: f}, nil)
 	}
@@ -459,6 +472,59 @@ func (fc *faultCore) StrandedBytes() int64 {
 		return 0
 	}
 	return fc.strandedProbe()
+}
+
+// ActiveFault pairs a target with the fault currently applied to it — one
+// row of the observability plane's fault-state view.
+type ActiveFault struct {
+	Target Target
+	Fault  Fault
+}
+
+// ActiveFaults returns the faults currently applied to the fabric, in a
+// deterministic coordinate order (kind, tier, ID, link coordinates). A
+// fault is listed from the virtual time its injection fires until its
+// recovery fires; per target the latest-applied fault wins, exactly
+// mirroring the fabric's state. A flapping target is listed for the whole
+// cycle, through both phases. Like every injector method, ActiveFaults is
+// only safe from the engine goroutine (e.g. an observer's sampling event).
+//
+// ActiveFaults is not part of the FaultInjector interface — reach it with
+// a type assertion, like SetStrandedProbe:
+//
+//	if af, ok := inj.(interface{ ActiveFaults() []ActiveFault }); ok { ... }
+func (fc *faultCore) ActiveFaults() []ActiveFault {
+	if len(fc.active) == 0 {
+		return nil
+	}
+	out := make([]ActiveFault, 0, len(fc.active))
+	//operalint:allow maporder -- sorted into canonical coordinate order below
+	for t, f := range fc.active {
+		out = append(out, ActiveFault{Target: t, Fault: f})
+	}
+	sort.Slice(out, func(i, j int) bool { return targetLess(out[i].Target, out[j].Target) })
+	return out
+}
+
+// targetLess orders targets by (kind, tier, ID, link tier, link switch,
+// link port) — the canonical coordinate order of fault-state listings.
+func targetLess(a, b Target) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Tier != b.Tier {
+		return a.Tier < b.Tier
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	if a.Link.Tier != b.Link.Tier {
+		return a.Link.Tier < b.Link.Tier
+	}
+	if a.Link.Switch != b.Link.Switch {
+		return a.Link.Switch < b.Link.Switch
+	}
+	return a.Link.Port < b.Link.Port
 }
 
 // grayRand builds the deterministic generator behind a lossy port. Kept

@@ -55,6 +55,9 @@ type Options struct {
 	// depend on scheduling.
 	ShuffleDispatch bool
 	ShuffleSeed     int64
+	// Progress observes dispatch/completion/delivery (nil: no reporting).
+	// It must be safe for concurrent use; see ProgressSink.
+	Progress ProgressSink
 }
 
 // Report is a finished sweep. Results and Collectors are in spec order
@@ -106,6 +109,11 @@ func Run(ctx context.Context, specs []scenario.Spec, opt Options) (Report, error
 	if command == nil {
 		command = SelfWorker
 	}
+	prog := opt.Progress
+	if prog == nil {
+		prog = nopProgress{}
+	}
+	prog.SweepStarted(len(specs), workers, shardCount)
 
 	done := make([]bool, len(specs))
 	missing := make([]int, len(specs))
@@ -134,7 +142,8 @@ func Run(ctx context.Context, specs []scenario.Spec, opt Options) (Report, error
 			}
 			wg.Add(1)
 			sem <- struct{}{}
-			go func(shard ShardSpec) {
+			prog.ShardDispatched(round, bi, shard.Indices)
+			go func(round, bi int, shard ShardSpec) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				err := runShard(ctx, opt.Timeout, command, shard, func(f Frame) error {
@@ -146,14 +155,16 @@ func Run(ctx context.Context, specs []scenario.Spec, opt Options) (Report, error
 					rep.Results[f.Index] = f.Result
 					rep.Collectors[f.Index] = f.Collector
 					done[f.Index] = true
+					prog.ResultDelivered(f.Index, f.Result, f.Collector)
 					return nil
 				})
+				prog.ShardDone(round, bi, shard.Indices, err)
 				if err != nil {
 					mu.Lock()
 					rep.WorkerErrs = append(rep.WorkerErrs, err.Error())
 					mu.Unlock()
 				}
-			}(shard)
+			}(round, bi, shard)
 		}
 		wg.Wait()
 		var still []int
@@ -175,6 +186,7 @@ func Run(ctx context.Context, specs []scenario.Spec, opt Options) (Report, error
 		}
 		rep.Results[gi] = res
 	}
+	prog.SweepDone(rep.Rounds, rep.Failed)
 	return rep, ctx.Err()
 }
 
@@ -274,6 +286,16 @@ func partition(indices []int, n int) [][]int {
 // (<= 0: GOMAXPROCS) — the reference a sharded Run must reproduce
 // byte-for-byte, and the -workers 0 path of opera-sweep.
 func RunLocal(ctx context.Context, specs []scenario.Spec, parallelism int) (Report, error) {
+	return RunLocalProgress(ctx, specs, parallelism, nil)
+}
+
+// RunLocalProgress is RunLocal with a progress sink. There are no worker
+// processes, so no shard events fire — only SweepStarted, per-scenario
+// ResultDelivered, and SweepDone (shards reported as 0).
+func RunLocalProgress(ctx context.Context, specs []scenario.Spec, parallelism int, prog ProgressSink) (Report, error) {
+	if prog == nil {
+		prog = nopProgress{}
+	}
 	rep := Report{
 		Results:    make([]scenario.Result, len(specs)),
 		Collectors: make([][]byte, len(specs)),
@@ -285,6 +307,7 @@ func RunLocal(ctx context.Context, specs []scenario.Spec, parallelism int) (Repo
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
+	prog.SweepStarted(len(specs), parallelism, 0)
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism && w < len(specs); w++ {
@@ -293,6 +316,7 @@ func RunLocal(ctx context.Context, specs []scenario.Spec, parallelism int) (Repo
 			defer wg.Done()
 			for i := range indices {
 				rep.Results[i], rep.Collectors[i] = runSpec(specs[i])
+				prog.ResultDelivered(i, rep.Results[i], rep.Collectors[i])
 			}
 		}()
 	}
@@ -314,6 +338,7 @@ feed:
 	}
 	close(indices)
 	wg.Wait()
+	prog.SweepDone(rep.Rounds, rep.Failed)
 	return rep, err
 }
 

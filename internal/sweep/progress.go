@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"github.com/opera-net/opera/scenario"
+)
+
+// ProgressSink observes a sweep as it runs: shard dispatch, completion,
+// retries, and per-scenario result delivery. Run was previously silent
+// between start and return; a sink makes a long sweep legible — to a
+// human on stderr (LogProgress) or to a status endpoint (obs.SweepTracker).
+//
+// Callbacks fire from coordinator goroutines concurrently, so
+// implementations must be safe for concurrent use. They run inline on the
+// dispatch/delivery path: keep them fast and never block.
+type ProgressSink interface {
+	// SweepStarted fires once, before the first dispatch round.
+	SweepStarted(specs, workers, shards int)
+	// ShardDispatched fires as shard (its index within the round) is
+	// handed to a worker; round > 0 means a retry of previously
+	// undelivered indices. indices must not be mutated or retained.
+	ShardDispatched(round, shard int, indices []int)
+	// ShardDone fires when a shard attempt finishes; err is non-nil on
+	// crash, timeout, or protocol failure (its indices may be retried).
+	ShardDone(round, shard int, indices []int, err error)
+	// ResultDelivered fires per finished scenario, in arrival order.
+	ResultDelivered(index int, res scenario.Result, collector []byte)
+	// SweepDone fires once after the last round; failed lists spec
+	// indices never delivered.
+	SweepDone(rounds int, failed []int)
+}
+
+// nopProgress is the sink used when Options.Progress is nil.
+type nopProgress struct{}
+
+func (nopProgress) SweepStarted(int, int, int)                   {}
+func (nopProgress) ShardDispatched(int, int, []int)              {}
+func (nopProgress) ShardDone(int, int, []int, error)             {}
+func (nopProgress) ResultDelivered(int, scenario.Result, []byte) {}
+func (nopProgress) SweepDone(int, []int)                         {}
+
+// LogProgress returns a sink writing structured one-line events to w
+// (typically stderr) with wall-clock timestamps. Per-result delivery is
+// deliberately not logged — shard granularity keeps a thousand-cell sweep
+// readable.
+func LogProgress(w io.Writer) ProgressSink {
+	return &logProgress{l: log.New(w, "opera-sweep: ", log.LstdFlags|log.Lmicroseconds)}
+}
+
+type logProgress struct{ l *log.Logger }
+
+func (p *logProgress) SweepStarted(specs, workers, shards int) {
+	p.l.Printf("sweep started: %d scenario(s), %d worker(s), %d shard(s)/round", specs, workers, shards)
+}
+
+func (p *logProgress) ShardDispatched(round, shard int, indices []int) {
+	verb := "dispatch"
+	if round > 0 {
+		verb = "retry-dispatch"
+	}
+	p.l.Printf("%s round %d shard %d: %s", verb, round, shard, indexSpan(indices))
+}
+
+func (p *logProgress) ShardDone(round, shard int, indices []int, err error) {
+	if err != nil {
+		p.l.Printf("shard failed round %d shard %d: %s: %v", round, shard, indexSpan(indices), err)
+		return
+	}
+	p.l.Printf("shard done round %d shard %d: %s", round, shard, indexSpan(indices))
+}
+
+func (p *logProgress) ResultDelivered(int, scenario.Result, []byte) {}
+
+func (p *logProgress) SweepDone(rounds int, failed []int) {
+	if len(failed) > 0 {
+		p.l.Printf("sweep done: %d round(s), %d cell(s) FAILED %v", rounds, len(failed), failed)
+		return
+	}
+	p.l.Printf("sweep done: %d round(s), all cells delivered", rounds)
+}
+
+// indexSpan renders a shard's global indices compactly: count plus the
+// min..max range (shards are contiguous in round 0 but can be sparse on
+// retry, so the range is a summary, not an enumeration).
+func indexSpan(indices []int) string {
+	if len(indices) == 0 {
+		return "0 scenario(s)"
+	}
+	lo, hi := indices[0], indices[0]
+	for _, i := range indices[1:] {
+		if i < lo {
+			lo = i
+		}
+		if i > hi {
+			hi = i
+		}
+	}
+	if lo == hi {
+		return fmt.Sprintf("1 scenario(s) [%d]", lo)
+	}
+	return fmt.Sprintf("%d scenario(s) [%d..%d]", len(indices), lo, hi)
+}
+
+// MultiProgress fans every event out to each sink in order — e.g. stderr
+// logging plus a live status endpoint.
+func MultiProgress(sinks ...ProgressSink) ProgressSink { return multiProgress(sinks) }
+
+type multiProgress []ProgressSink
+
+func (m multiProgress) SweepStarted(specs, workers, shards int) {
+	for _, s := range m {
+		s.SweepStarted(specs, workers, shards)
+	}
+}
+
+func (m multiProgress) ShardDispatched(round, shard int, indices []int) {
+	for _, s := range m {
+		s.ShardDispatched(round, shard, indices)
+	}
+}
+
+func (m multiProgress) ShardDone(round, shard int, indices []int, err error) {
+	for _, s := range m {
+		s.ShardDone(round, shard, indices, err)
+	}
+}
+
+func (m multiProgress) ResultDelivered(index int, res scenario.Result, collector []byte) {
+	for _, s := range m {
+		s.ResultDelivered(index, res, collector)
+	}
+}
+
+func (m multiProgress) SweepDone(rounds int, failed []int) {
+	for _, s := range m {
+		s.SweepDone(rounds, failed)
+	}
+}

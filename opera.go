@@ -395,6 +395,22 @@ func (c *Cluster) Faults() sim.FaultInjector {
 	return inj
 }
 
+// NDPFabric exposes the NDP transport's endpoint fabric, or nil when the
+// architecture has no always-on packet path (non-hybrid RotorNet). The
+// observability plane reads its flow-state pool gauges from here.
+func (c *Cluster) NDPFabric() *ndp.Fabric {
+	for _, tr := range []sim.Class{sim.ClassLowLatency, sim.ClassBulk} {
+		if fab, ok := c.transports[tr].(*ndp.Fabric); ok {
+			return fab
+		}
+	}
+	return nil
+}
+
+// RotorLB exposes the bulk circuit transport, or nil when the fabric has
+// no circuits (static expander, folded Clos).
+func (c *Cluster) RotorLB() *rotorlb.LB { return c.lb }
+
 // BulkNACKCount reports §4.2.2 NACK retransmissions observed (circuit
 // networks only).
 func (c *Cluster) BulkNACKCount() uint64 {

@@ -207,6 +207,24 @@ type Scenario struct {
 	// Seed seeds the cluster topology, the workload generator, and the
 	// fault schedule's randomness.
 	Seed int64
+	// Observer, when non-nil, is attached to the built cluster just
+	// before the run starts — the opt-in live-observation hook
+	// (internal/obs.Publisher implements it). Observers sample through
+	// the engine's meta-event surface and must be read-only: the Result
+	// of an observed run is byte-identical to the unobserved run, which
+	// TestObserverDeterminism asserts. Observers are process-local and
+	// are not part of the Spec wire form.
+	Observer Observer
+}
+
+// Observer is the live-observation hook of a Scenario: Attach is called
+// with the built cluster and the run's deadline after workloads, fault
+// schedules and probes are installed, immediately before RunUntilDone.
+// Implementations schedule their sampling via the engine's meta-event
+// entry points (eventsim.AtMetaCall) so the run's results, effort counts
+// and early-exit behavior are unchanged by observation.
+type Observer interface {
+	Attach(cl *opera.Cluster, deadline eventsim.Time)
 }
 
 // FCTStats summarizes a flow-completion-time sample in microseconds.
@@ -380,6 +398,9 @@ func Collect(sc Scenario) (*opera.Cluster, Result) {
 	if err != nil {
 		res.Err = err.Error()
 		return nil, res
+	}
+	if sc.Observer != nil {
+		sc.Observer.Attach(cl, sc.Duration)
 	}
 	res.Completed = cl.RunUntilDone(sc.Duration)
 	cl.Stop()
